@@ -1,0 +1,14 @@
+"""Bench: AIM write-back vs write-through ablation.
+
+Expected shape: write-through pays a DRAM metadata write per AIM update
+and so never moves fewer bytes off-chip than write-back.
+"""
+
+
+def test_abl_aim_writeback(run_exp):
+    (table,) = run_exp("abl_aim_writeback")
+    by_policy = table.row_dict("policy")
+    wb = by_policy["write-back"]
+    wt = by_policy["write-through"]
+    assert wb["offchip metadata bytes"] <= wt["offchip metadata bytes"]
+    assert wb["cycles"] <= wt["cycles"] * 1.05

@@ -1,0 +1,22 @@
+"""Bench: ARC lazy-vs-explicit clearing ablation.
+
+Expected shape: the lazy epoch/interval scheme sends zero clear
+messages; the explicit variant sends one per touched bank per region,
+strictly increasing flit-hops.
+"""
+
+
+def test_abl_arc_lazy_clear(run_exp):
+    (table,) = run_exp("abl_arc_lazy_clear")
+    by_workload: dict[str, dict[str, list]] = {}
+    for workload, variant, cycles, flit_hops, clear_msgs in table.rows:
+        by_workload.setdefault(workload, {})[variant] = (
+            cycles,
+            flit_hops,
+            clear_msgs,
+        )
+    for workload, variants in by_workload.items():
+        lazy, explicit = variants["lazy"], variants["explicit"]
+        assert lazy[2] == 0, workload
+        assert explicit[2] > 0, workload
+        assert explicit[1] > lazy[1], workload  # extra flit-hops

@@ -1,0 +1,32 @@
+"""Bench: ARC shared-data write policy ablation.
+
+Expected shape: write-through eliminates boundary self-downgrades but
+pays a data message per shared-line store, so on write-intensive
+sharing it sends more flit-hops than write-back + self-downgrade.
+"""
+
+
+def test_abl_arc_write_through(run_exp):
+    (table,) = run_exp("abl_arc_write_through")
+    by_workload: dict[str, dict[str, dict]] = {}
+    for workload, policy, cycles, flit_hops, wt_stores, downgrades in table.rows:
+        by_workload.setdefault(workload, {})[policy] = {
+            "cycles": cycles,
+            "flit_hops": flit_hops,
+            "wt_stores": wt_stores,
+            "downgrades": downgrades,
+        }
+    for workload, policies in by_workload.items():
+        wb, wt = policies["write-back"], policies["write-through"]
+        assert wb["wt_stores"] == 0, workload
+        assert wt["wt_stores"] > 0, workload
+        # WT never flushes shared lines at boundaries (the only residual
+        # downgrades come from private->shared recoveries).
+        assert wt["downgrades"] <= wb["downgrades"], workload
+    # On the migratory blob (every word rewritten each region),
+    # write-through's per-store messages outweigh the saved downgrades.
+    migratory = by_workload["migratory-token"]
+    assert (
+        migratory["write-through"]["flit_hops"]
+        > migratory["write-back"]["flit_hops"]
+    )

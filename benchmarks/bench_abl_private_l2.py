@@ -1,0 +1,17 @@
+"""Bench: private-L2 ablation under CE.
+
+Expected shape: the L2 filters private misses and, because CE's access
+bits demote with the line instead of spilling, reduces metadata spills
+— the classic reason CE's ISCA-2010 design keeps bits in both private
+levels.
+"""
+
+
+def test_abl_private_l2(run_exp):
+    (table,) = run_exp("abl_private_l2")
+    rows = table.row_dict("config")
+    base = rows["L1 only"]
+    with_l2 = rows["L1 + 256KB L2"]
+    assert with_l2["private misses"] <= base["private misses"]
+    assert with_l2["metadata spills"] <= base["metadata spills"]
+    assert base["L2 hit rate"] == 0.0

@@ -1,0 +1,20 @@
+"""Bench: directory-capacity ablation under CE.
+
+Expected shape: a full-map directory never recalls; shrinking the
+directory produces recalls, extra invalidations, and at least as many
+CE metadata spills (recalled lines with live access bits must spill).
+"""
+
+
+def test_abl_sparse_directory(run_exp):
+    (table,) = run_exp("abl_sparse_directory")
+    rows = table.row_dict("directory")
+    assert rows["full-map"]["recalls"] == 0
+    assert rows["256/bank"]["recalls"] >= rows["1K/bank"]["recalls"]
+    assert rows["256/bank"]["recalls"] > 0
+    assert (
+        rows["256/bank"]["invalidations"] >= rows["full-map"]["invalidations"]
+    )
+    assert (
+        rows["256/bank"]["metadata spills"] >= rows["full-map"]["metadata spills"]
+    )

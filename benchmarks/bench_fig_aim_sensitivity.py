@@ -1,0 +1,20 @@
+"""Bench: regenerate the AIM-size sensitivity figure.
+
+Expected shape (paper): plain CE moves the most metadata off-chip;
+growing the AIM monotonically reduces off-chip metadata bytes (and,
+once the metadata working set fits, runtime approaches CE+'s floor).
+"""
+
+
+def test_fig_aim_sensitivity(run_exp):
+    (table,) = run_exp("fig_aim_sensitivity")
+    sizes = table.column("aim size")
+    assert sizes[0] == "CE (no AIM)"
+    meta = table.column("offchip metadata bytes")
+    runtime = table.column("runtime vs MESI")
+    # CE is the ceiling on off-chip metadata.
+    assert meta[0] == max(meta)
+    # Larger AIMs never move more metadata off-chip.
+    assert all(a >= b for a, b in zip(meta[1:], meta[2:]))
+    # Runtime never degrades when the AIM grows (small jitter allowed).
+    assert all(a >= b - 0.05 for a, b in zip(runtime[1:], runtime[2:]))

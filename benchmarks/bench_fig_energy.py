@@ -1,0 +1,17 @@
+"""Bench: regenerate the energy figure (totals + component breakdown).
+
+Expected shape (paper): CE's energy exceeds CE+'s (off-chip metadata is
+expensive); ARC is competitive with CE+.  The breakdown's components
+sum to each protocol's total.
+"""
+
+import pytest
+
+
+def test_fig_energy(run_exp):
+    totals, breakdown = run_exp("fig_energy")
+    geomean = totals.row_dict("workload")["geomean"]
+    assert geomean["ce"] >= geomean["ce+"] - 0.03
+    for row in breakdown.rows:
+        proto, *components, total = row
+        assert sum(components) == pytest.approx(total, rel=0.05), proto

@@ -1,0 +1,17 @@
+"""Bench: regenerate the network-saturation comparison.
+
+Expected shape (paper): under bank-concentrated write sharing at the
+highest core count, CE+ sends more on-chip traffic than MESI while ARC
+sends less, and ARC's queueing-delay rate stays below CE+'s.
+"""
+
+
+def test_fig_network_saturation(run_exp):
+    (table,) = run_exp("fig_network_saturation")
+    rows = table.row_dict("protocol")
+    assert rows["ce+"]["flit-hops vs MESI"] > 1.0
+    assert rows["arc"]["flit-hops vs MESI"] < rows["ce+"]["flit-hops vs MESI"]
+    assert (
+        rows["arc"]["queue cyc/kcycle"]
+        <= rows["ce+"]["queue cyc/kcycle"] + 1e-9
+    )

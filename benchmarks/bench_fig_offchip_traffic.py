@@ -1,0 +1,19 @@
+"""Bench: regenerate the off-chip memory traffic figure.
+
+Expected shape (paper): CE's off-chip bytes exceed everyone's (metadata
+spills/fills/clears go to DRAM); CE+'s AIM absorbs them; ARC keeps all
+access information on chip, so its off-chip traffic is MESI-like.
+"""
+
+
+def test_fig_offchip_traffic(run_exp):
+    totals, metadata = run_exp("fig_offchip_traffic")
+    geomean = totals.row_dict("workload")["geomean"]
+    assert geomean["ce"] >= geomean["ce+"] - 1e-9
+    assert geomean["ce"] >= geomean["arc"] - 1e-9
+    # ARC moves zero metadata off-chip on every workload.
+    assert all(v == 0 for v in metadata.column("arc"))
+    # CE moves at least as much metadata off-chip as CE+ everywhere.
+    assert all(
+        ce >= cp for ce, cp in zip(metadata.column("ce"), metadata.column("ce+"))
+    )

@@ -1,0 +1,19 @@
+"""Bench: regenerate the on-chip network traffic figure.
+
+Expected shape (paper): CE and CE+ inherit MESI's eager-invalidation
+traffic and add metadata messages (ratio >= ~1); ARC avoids
+invalidations/forwards entirely, so on write-shared workloads its
+flit-hops drop below the MESI-family protocols'.
+"""
+
+
+def test_fig_onchip_traffic(run_exp):
+    (table,) = run_exp("fig_onchip_traffic")
+    rows = table.row_dict("workload")
+    geomean = rows["geomean"]
+    # CE/CE+ never send less than MESI (they only add messages).
+    assert geomean["ce"] >= 0.999
+    assert geomean["ce+"] >= 0.999
+    # On the migratory write-sharing workload ARC beats CE+.
+    migratory = rows["migratory-token"]
+    assert migratory["arc"] <= migratory["ce+"] + 0.05

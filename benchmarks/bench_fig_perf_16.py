@@ -1,0 +1,16 @@
+"""Bench: regenerate the per-workload performance figure.
+
+Expected shape (paper): CE is the slowest detector (metadata in main
+memory), CE+ recovers most of that loss, ARC is competitive with CE+ on
+average.  Absolute ratios differ from the paper's testbed; the ordering
+is what must hold.
+"""
+
+
+def test_fig_perf(run_exp):
+    (table,) = run_exp("fig_perf_16")
+    geomean = table.row_dict("workload")["geomean"]
+    # CE never beats CE+ overall; all ratios are positive and sane.
+    assert geomean["ce"] >= geomean["ce+"] - 0.02
+    for proto in ("ce", "ce+", "arc"):
+        assert 0.3 < geomean[proto] < 10.0

@@ -1,0 +1,17 @@
+"""Bench: regenerate the performance-vs-core-count figure.
+
+Expected shape (paper): CE's normalized runtime degrades as core count
+grows (more invalidation-triggered spills, more boundary clearing),
+while CE+ and ARC stay near flat.
+"""
+
+
+def test_fig_perf_scaling(run_exp, bench_settings):
+    (table,) = run_exp("fig_perf_scaling")
+    assert table.column("cores") == list(bench_settings.core_counts)
+    ce = table.column("ce")
+    ceplus = table.column("ce+")
+    # CE's overhead at the largest core count is at least its overhead
+    # at the smallest, and CE+ stays at or below CE everywhere.
+    assert ce[-1] >= ce[0] - 0.02
+    assert all(cp <= c + 0.02 for c, cp in zip(ce, ceplus))

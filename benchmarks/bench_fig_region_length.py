@@ -1,0 +1,19 @@
+"""Bench: regenerate the region-length sensitivity figure.
+
+Expected shape (paper): CE's overhead grows with region length (longer
+regions overflow the L1's access bits and spill to memory); CE+ and ARC
+stay near flat because their metadata stays on chip.
+"""
+
+
+def test_fig_region_length(run_exp):
+    (table,) = run_exp("fig_region_length")
+    assert table.column("phases") == [1, 2, 4, 8, 16]
+    lengths = table.column("mean region len")
+    assert lengths == sorted(lengths, reverse=True)
+    ce = table.column("ce")
+    ceplus = table.column("ce+")
+    # CE at the longest regions costs at least what it does at the
+    # shortest; CE+ never exceeds CE.
+    assert ce[0] >= ce[-1] - 0.02
+    assert all(cp <= c + 0.02 for c, cp in zip(ce, ceplus))

@@ -1,0 +1,19 @@
+"""Bench: regenerate the traffic-breakdown figure.
+
+Expected shape (paper): ARC's invalidation/forward categories are empty
+(no eager coherence); only the conflict detectors produce metadata
+traffic; data messages dominate everywhere.
+"""
+
+
+def test_fig_traffic_breakdown(run_exp):
+    (table,) = run_exp("fig_traffic_breakdown")
+    rows = table.row_dict("protocol")
+    assert rows["arc"]["inv"] == 0.0
+    assert rows["mesi"]["meta"] == 0.0
+    assert rows["mesi"]["inv"] > 0.0
+    for proto in ("mesi", "ce", "ce+", "arc"):
+        categories = {
+            k: v for k, v in rows[proto].items() if k not in ("protocol", "total")
+        }
+        assert categories["data"] == max(categories.values()), proto

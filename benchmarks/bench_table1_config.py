@@ -1,0 +1,15 @@
+"""Bench: regenerate Table I (simulated system parameters)."""
+
+
+def test_table1_system_config(run_exp):
+    (table,) = run_exp("table1_system_config")
+    components = table.column("component")
+    for expected in (
+        "Cores",
+        "L1 (private, per core)",
+        "LLC (shared)",
+        "AIM (CE+ metadata cache)",
+        "Interconnect",
+        "Main memory",
+    ):
+        assert expected in components

@@ -1,0 +1,11 @@
+"""Bench: regenerate Table II (workload characteristics)."""
+
+
+def test_table2_workloads(run_exp):
+    (table,) = run_exp("table2_workloads")
+    assert len(table.rows) == 10  # 8 conflict-free + 2 racy workloads
+    assert all(v > 0 for v in table.column("accesses"))
+    assert all(v > 0 for v in table.column("regions"))
+    # the suite spans sharing degrees from near-private to fully shared
+    shared = table.column("shared %")
+    assert min(shared) < 5.0 and max(shared) > 30.0

@@ -1,0 +1,21 @@
+"""Bench: regenerate the conflicts-detected table.
+
+Expected shape (paper/semantics): MESI reports nothing; CE, CE+ and ARC
+all report conflicts on every racy workload; racy-readers produces no
+W-W conflicts (only one thread writes).
+"""
+
+
+def test_table3_conflicts(run_exp):
+    (table,) = run_exp("table3_conflicts")
+    for row in table.rows:
+        workload, proto, conflicts, ww, _rw, vias = row
+        if proto == "mesi":
+            assert conflicts == 0, workload
+            assert vias == "-"
+        else:
+            assert conflicts > 0, (workload, proto)
+            if workload == "racy-readers":
+                assert ww == 0
+            if proto == "arc":
+                assert "inv" not in vias and "fwd" not in vias

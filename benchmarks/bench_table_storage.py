@@ -1,0 +1,14 @@
+"""Bench: regenerate the storage-overhead table.
+
+Expected shape: MESI adds nothing; CE adds L1 access bits; CE+ adds the
+AIM on top; ARC's L1 state is larger than CE's (registered-mask pairs)
+plus a bank table.
+"""
+
+
+def test_table_storage(run_exp):
+    (table,) = run_exp("table_storage")
+    rows = table.row_dict("system")
+    assert rows["MESI"]["per-core total"] == 0
+    assert 0 < rows["CE"]["per-core total"] < rows["CE+"]["per-core total"]
+    assert rows["ARC"]["L1 access bits"] > rows["CE"]["L1 access bits"]

@@ -1,0 +1,38 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every ``bench_*.py`` module regenerates one of the paper's tables or
+figures (see DESIGN.md's experiment index).  Benchmarks run the
+experiment once through pytest-benchmark's pedantic mode (simulations
+are deterministic — repetition adds nothing) at the ``bench`` preset,
+print the regenerated table, and assert the result *shape* the paper
+reports.
+
+Run paper-scale versions with ``python -m repro.harness.run <exp-id>``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import Settings, run_experiment
+
+
+@pytest.fixture(scope="session")
+def bench_settings() -> Settings:
+    return Settings.bench()
+
+
+@pytest.fixture
+def run_exp(benchmark, bench_settings):
+    """Run one experiment under pytest-benchmark and print its tables."""
+
+    def runner(exp_id: str):
+        tables = benchmark.pedantic(
+            run_experiment, args=(exp_id, bench_settings), rounds=1, iterations=1
+        )
+        for table in tables:
+            print()
+            print(table.render())
+        return tables
+
+    return runner

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Region conflict exceptions on a racy program.
+
+Builds a small program with a genuine data race, then shows:
+
+* MESI executes it silently (today's hardware: undefined behaviour);
+* CE, CE+ and ARC all deliver a *region conflict exception* naming the
+  exact bytes, cores and regions involved;
+* byte-level precision: a false-sharing variant (same cache line,
+  disjoint bytes) raises nothing;
+* ``halt_on_conflict=True`` turns the record into a catchable
+  ``RegionConflictError``, the way hardware would trap.
+
+Run:  python examples/conflict_detection_demo.py
+"""
+
+from repro import (
+    Program,
+    RegionConflictError,
+    SystemConfig,
+    TraceBuilder,
+    run_program,
+)
+
+RACY_WORD = 0x7000
+
+
+def racy_program() -> Program:
+    """Two threads write the same word in temporally overlapping regions.
+
+    Thread 0's racy region is kept long (compute gaps) so thread 1's
+    conflicting write lands *while that region is still executing* —
+    the condition under which region conflict semantics require an
+    exception.
+    """
+    t0 = TraceBuilder()
+    t0.write(RACY_WORD, 8, gap=5)        # racy write, region 0...
+    for i in range(60):                  # ...which keeps running a while
+        t0.read(0x1000 + i * 64, 8, gap=50)
+    t0.acquire(0).release(0)             # region 0 ends here
+    t1 = (
+        TraceBuilder()
+        .read(0x2000, 8, gap=2)
+        .write(RACY_WORD, 8)             # races with t0's open region
+        .acquire(1).release(1)
+        .build()
+    )
+    return Program([t0.build(), t1], name="racy-demo")
+
+
+def false_sharing_program() -> Program:
+    """Two threads write *different bytes* of the same line — a
+    performance problem, but NOT a conflict."""
+    t0 = TraceBuilder().write(RACY_WORD, 8).build()
+    t1 = TraceBuilder().write(RACY_WORD + 8, 8).build()
+    return Program([t0, t1], name="false-sharing-demo")
+
+
+def main() -> None:
+    print("=== truly racy program ===")
+    for proto in ("mesi", "ce", "ce+", "arc"):
+        result = run_program(SystemConfig(num_cores=2, protocol=proto), racy_program())
+        if result.num_conflicts == 0:
+            print(f"{proto:5s}: no exception (race executes silently)")
+        for record in result.stats.conflicts:
+            print(
+                f"{proto:5s}: {record.kind()} conflict on line "
+                f"{record.line_addr:#x} bytes {record.byte_mask:#04x} — "
+                f"core {record.first_core} (region {record.first_region}) vs "
+                f"core {record.second_core} (region {record.second_region}), "
+                f"detected via '{record.detected_by}' at cycle {record.cycle}"
+            )
+
+    print("\n=== false sharing (same line, disjoint bytes) ===")
+    for proto in ("ce", "ce+", "arc"):
+        result = run_program(
+            SystemConfig(num_cores=2, protocol=proto), false_sharing_program()
+        )
+        print(f"{proto:5s}: {result.num_conflicts} conflicts "
+              "(byte-level precision keeps false sharing silent)")
+
+    print("\n=== halting semantics ===")
+    cfg = SystemConfig(num_cores=2, protocol="ce", halt_on_conflict=True)
+    try:
+        run_program(cfg, racy_program())
+    except RegionConflictError as exc:
+        print(f"caught RegionConflictError: {exc}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Core-count scaling study across the whole workload suite.
+
+Reproduces the paper's scaling figure end to end: for each core count,
+run every suite workload under CE, CE+ and ARC and report the geomean
+runtime, traffic and off-chip bytes normalized to MESI.  The trend to
+look for: CE degrades with core count (more invalidation-triggered
+metadata spills, more boundary clearing), CE+ holds runtime but its
+traffic grows with MESI's, and ARC stays flat on both axes.
+
+Run:  python examples/core_count_scaling.py           (8/16 cores, scale 0.5)
+      python examples/core_count_scaling.py --full    (8/16/32, scale 1.0)
+      python examples/core_count_scaling.py --tiny    (2/4 cores, smoke test)
+"""
+
+import sys
+import time
+
+from repro import ProtocolKind, SystemConfig, compare_protocols, geomean
+from repro.synth import SUITE, build_workload
+
+DETECTORS = (ProtocolKind.CE, ProtocolKind.CEPLUS, ProtocolKind.ARC)
+
+
+def main() -> None:
+    if "--full" in sys.argv:
+        core_counts, scale = (8, 16, 32), 1.0
+    elif "--tiny" in sys.argv:
+        core_counts, scale = (2, 4), 0.05
+    else:
+        core_counts, scale = (8, 16), 0.5
+
+    print(f"suite: {', '.join(SUITE)}\n")
+    header = (f"{'cores':>6s} {'metric':>22s}"
+              + "".join(f"{p.value:>8s}" for p in DETECTORS))
+    print(header)
+    print("-" * len(header))
+
+    for cores in core_counts:
+        start = time.perf_counter()
+        comparisons = [
+            compare_protocols(
+                SystemConfig(num_cores=cores),
+                build_workload(name, num_threads=cores, seed=1, scale=scale),
+            )
+            for name in SUITE
+        ]
+        for label, metric in (
+            ("runtime vs MESI", "cycles"),
+            ("flit-hops vs MESI", "flit_hops"),
+            ("off-chip vs MESI", "offchip_bytes"),
+        ):
+            row = [
+                geomean([c.normalized(metric)[p] for c in comparisons])
+                for p in DETECTORS
+            ]
+            print(f"{cores:6d} {label:>22s}" + "".join(f"{v:8.3f}" for v in row))
+        print(f"{'':6s} ({time.perf_counter() - start:.1f}s)")
+
+
+if __name__ == "__main__":
+    main()

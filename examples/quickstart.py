@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Quickstart: run one workload under all four systems and compare.
+
+This is the 60-second tour of the library:
+
+1. build a synthetic multithreaded workload (a contended lock counter),
+2. simulate it under MESI (baseline), CE, CE+ and ARC on identical
+   hardware,
+3. print the normalized runtime / traffic / energy — the numbers every
+   figure in the paper is made of.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import SystemConfig, compare_protocols
+from repro.synth import build_workload
+
+
+def main() -> None:
+    program = build_workload("lock-counter", num_threads=8, seed=42, scale=0.5)
+    print(f"workload: {program.name}, {program.num_threads} threads, "
+          f"{program.num_events():,} events")
+    stats = program.stats()
+    print(f"  {stats.num_accesses:,} accesses ({stats.write_fraction:.0%} writes), "
+          f"{stats.num_regions:,} regions, "
+          f"mean region length {stats.mean_region_length:.1f}\n")
+
+    cfg = SystemConfig(num_cores=8)
+    comparison = compare_protocols(cfg, program)
+
+    header = f"{'metric':28s}" + "".join(f"{p.value:>10s}" for p in comparison.results)
+    print(header)
+    print("-" * len(header))
+    for label, metric in (
+        ("runtime (vs MESI)", "cycles"),
+        ("on-chip flit-hops (vs MESI)", "flit_hops"),
+        ("off-chip bytes (vs MESI)", "offchip_bytes"),
+        ("energy (vs MESI)", "energy_nj"),
+    ):
+        normalized = comparison.normalized(metric)
+        print(f"{label:28s}" + "".join(f"{v:10.3f}" for v in normalized.values()))
+
+    print(f"{'conflicts detected':28s}"
+          + "".join(f"{r.num_conflicts:10d}" for r in comparison.results.values()))
+
+    print("\nlock-counter is well-synchronized, so every conflict detector "
+          "stays silent;\nsee conflict_detection_demo.py for a racy program.")
+
+
+if __name__ == "__main__":
+    main()

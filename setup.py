@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+This environment has no `wheel` package, so PEP 660 editable installs
+(`pip install -e .` building a wheel) fail.  With this shim,
+`pip install -e . --no-use-pep517` (or `python setup.py develop`) uses the
+legacy editable path, which needs no wheel building.
+"""
+
+from setuptools import setup
+
+setup()

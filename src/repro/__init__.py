@@ -1,0 +1,68 @@
+"""repro — reproduction of "Rethinking Support for Region Conflict
+Exceptions" (Biswas, Zhang, Bond, Lucia; IPDPS 2019).
+
+A trace-driven multicore simulator implementing the paper's four
+systems — baseline MESI, Conflict Exceptions (CE), CE+ (CE with the AIM
+on-chip metadata cache), and ARC (conflict detection on
+self-invalidation/release-consistency coherence) — plus the synthetic
+workload suite and the experiment harness that regenerate the paper's
+tables and figures.
+
+Quick start::
+
+    from repro import SystemConfig, compare_protocols
+    from repro.synth.suite import build_workload
+
+    program = build_workload("lock-counter", num_threads=8, seed=7)
+    cmp = compare_protocols(SystemConfig(num_cores=8), program)
+    print(cmp.normalized_runtime())
+"""
+
+from .common.config import (
+    AimConfig,
+    CacheConfig,
+    DramConfig,
+    NocConfig,
+    ProtocolKind,
+    SystemConfig,
+)
+from .common.errors import (
+    ConfigError,
+    ConflictRecord,
+    RegionConflictError,
+    ReproError,
+    SimulationError,
+    TraceError,
+)
+from .core.api import ALL_PROTOCOLS, compare_protocols, run_program
+from .core.results import Comparison, RunResult, geomean
+from .core.simulator import Simulator
+from .trace.builder import TraceBuilder
+from .trace.program import Program
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_PROTOCOLS",
+    "AimConfig",
+    "CacheConfig",
+    "Comparison",
+    "ConfigError",
+    "ConflictRecord",
+    "DramConfig",
+    "NocConfig",
+    "Program",
+    "ProtocolKind",
+    "RegionConflictError",
+    "ReproError",
+    "RunResult",
+    "SimulationError",
+    "Simulator",
+    "SystemConfig",
+    "TraceBuilder",
+    "TraceError",
+    "compare_protocols",
+    "geomean",
+    "run_program",
+    "__version__",
+]

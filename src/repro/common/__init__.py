@@ -1,0 +1,33 @@
+"""Shared infrastructure: configuration, errors, units, bit/byte masks, RNG."""
+
+from .config import (
+    AimConfig,
+    CacheConfig,
+    DramConfig,
+    NocConfig,
+    ProtocolKind,
+    SystemConfig,
+)
+from .errors import (
+    ConfigError,
+    ConflictRecord,
+    RegionConflictError,
+    ReproError,
+    SimulationError,
+    TraceError,
+)
+
+__all__ = [
+    "AimConfig",
+    "CacheConfig",
+    "ConfigError",
+    "ConflictRecord",
+    "DramConfig",
+    "NocConfig",
+    "ProtocolKind",
+    "RegionConflictError",
+    "ReproError",
+    "SimulationError",
+    "SystemConfig",
+    "TraceError",
+]

@@ -1,0 +1,61 @@
+"""Byte-mask utilities.
+
+Access information in CE/CE+/ARC is kept at **byte granularity** inside a
+cache line: a 64-byte line uses a 64-bit read mask and a 64-bit write
+mask.  Masks are plain Python ints (bit *i* = byte *i* of the line), which
+keeps the hot paths allocation-free and makes overlap checks single
+``&`` operations.
+"""
+
+from __future__ import annotations
+
+from .errors import SimulationError
+
+
+def byte_mask(offset: int, size: int, line_size: int) -> int:
+    """Return the mask covering ``size`` bytes starting at ``offset``
+    within a line of ``line_size`` bytes.
+
+    >>> bin(byte_mask(0, 4, 64))
+    '0b1111'
+    >>> bin(byte_mask(6, 2, 8))
+    '0b11000000'
+    """
+    if size <= 0:
+        raise SimulationError(f"access size must be positive, got {size}")
+    if offset < 0 or offset + size > line_size:
+        raise SimulationError(
+            f"access [{offset}, {offset + size}) exceeds line of {line_size} bytes"
+        )
+    return ((1 << size) - 1) << offset
+
+
+def masks_overlap(a: int, b: int) -> bool:
+    """True iff the two byte masks share at least one byte."""
+    return (a & b) != 0
+
+
+def mask_popcount(mask: int) -> int:
+    """Number of bytes covered by ``mask``."""
+    return mask.bit_count()
+
+
+def mask_bytes(mask: int) -> list[int]:
+    """Byte offsets covered by ``mask``, ascending.
+
+    >>> mask_bytes(0b1010)
+    [1, 3]
+    """
+    out = []
+    offset = 0
+    while mask:
+        if mask & 1:
+            out.append(offset)
+        mask >>= 1
+        offset += 1
+    return out
+
+
+def full_mask(line_size: int) -> int:
+    """Mask covering every byte of a line."""
+    return (1 << line_size) - 1

@@ -1,0 +1,99 @@
+"""Exception types used across the simulator.
+
+The library distinguishes configuration errors (user mistakes detected
+before a simulation starts), simulation errors (internal invariant
+violations — always bugs), and the semantically meaningful
+:class:`RegionConflictError`, which models the *region conflict exception*
+that CE/CE+/ARC deliver to a program whose synchronization-free regions
+conflict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value or combination was supplied."""
+
+
+class TraceError(ReproError):
+    """A trace is malformed (unbalanced locks, bad addresses, ...)."""
+
+
+class SimulationError(ReproError):
+    """An internal simulator invariant was violated.
+
+    Seeing this exception is always a bug in the simulator, never a
+    property of the simulated program.
+    """
+
+
+@dataclass(frozen=True)
+class ConflictRecord:
+    """A detected region conflict.
+
+    Attributes
+    ----------
+    cycle:
+        Simulated cycle at which the conflict was *detected*.  For CE/CE+
+        this is the cycle of the coherence action that exposed the
+        conflict; for ARC it may be as late as the end of the region that
+        performed the second access.
+    line_addr:
+        Base address of the cache line involved.
+    byte_mask:
+        Bit i set means byte ``line_addr + i`` participates in the
+        conflict (byte-level precision, so false sharing never conflicts).
+    first_core / second_core:
+        Cores whose in-progress regions conflict.  ``second_core`` is the
+        core whose access completed the conflict.
+    first_region / second_region:
+        Per-core region sequence numbers of the conflicting regions.
+    first_was_write / second_was_write:
+        Access kinds; at least one is True.
+    detected_by:
+        Short protocol-specific tag naming the mechanism that detected
+        the conflict (e.g. ``"inv"``, ``"fwd"``, ``"aim-fill"``,
+        ``"llc-register"``, ``"region-end-flush"``).
+    """
+
+    cycle: int
+    line_addr: int
+    byte_mask: int
+    first_core: int
+    second_core: int
+    first_region: int
+    second_region: int
+    first_was_write: bool
+    second_was_write: bool
+    detected_by: str
+
+    def kind(self) -> str:
+        """Return the conflict kind as ``"W-W"``, ``"R-W"`` or ``"W-R"``."""
+        first = "W" if self.first_was_write else "R"
+        second = "W" if self.second_was_write else "R"
+        return f"{first}-{second}"
+
+
+class RegionConflictError(ReproError):
+    """Raised when a region conflict is detected and ``halt_on_conflict``
+    is enabled in the simulation configuration.
+
+    Carries the full :class:`ConflictRecord` so an exception handler (or a
+    test) can inspect exactly which bytes and regions conflicted.
+    """
+
+    def __init__(self, record: ConflictRecord):
+        self.record = record
+        super().__init__(
+            f"region conflict ({record.kind()}) on line "
+            f"{record.line_addr:#x} bytes {record.byte_mask:#x}: "
+            f"core {record.first_core} region {record.first_region} vs "
+            f"core {record.second_core} region {record.second_region} "
+            f"at cycle {record.cycle} (detected by {record.detected_by})"
+        )

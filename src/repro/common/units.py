@@ -1,0 +1,81 @@
+"""Size and unit helpers.
+
+Cache and AIM capacities in configs may be given as integers (bytes) or
+strings like ``"32KB"``; this module provides the parsing and formatting
+used everywhere so that Table I-style output is consistent.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .errors import ConfigError
+
+_SIZE_RE = re.compile(r"^\s*(\d+(?:\.\d+)?)\s*([KMG]i?)?B?\s*$", re.IGNORECASE)
+
+_MULTIPLIERS = {
+    None: 1,
+    "K": 1024,
+    "KI": 1024,
+    "M": 1024**2,
+    "MI": 1024**2,
+    "G": 1024**3,
+    "GI": 1024**3,
+}
+
+
+def parse_size(value: int | str) -> int:
+    """Parse a byte size.
+
+    Accepts plain ints, or strings such as ``"64"``, ``"32KB"``,
+    ``"2MB"``, ``"1GiB"``.  K/M/G are binary multiples (1K = 1024),
+    matching how cache sizes are quoted in architecture papers.
+
+    >>> parse_size("32KB")
+    32768
+    >>> parse_size(64)
+    64
+    """
+    if isinstance(value, bool):  # bool is an int subclass; reject it
+        raise ConfigError(f"not a size: {value!r}")
+    if isinstance(value, int):
+        if value < 0:
+            raise ConfigError(f"negative size: {value}")
+        return value
+    if isinstance(value, str):
+        m = _SIZE_RE.match(value)
+        if not m:
+            raise ConfigError(f"cannot parse size {value!r}")
+        number, suffix = m.group(1), m.group(2)
+        mult = _MULTIPLIERS[suffix.upper() if suffix else None]
+        result = float(number) * mult
+        if result != int(result):
+            raise ConfigError(f"size {value!r} is not a whole number of bytes")
+        return int(result)
+    raise ConfigError(f"cannot parse size from {type(value).__name__}")
+
+
+def format_size(nbytes: int) -> str:
+    """Format a byte count using binary suffixes, e.g. ``32768 -> '32KB'``.
+
+    Values that are not whole multiples of a suffix fall back to plain
+    bytes.
+    """
+    if nbytes < 0:
+        raise ConfigError(f"negative size: {nbytes}")
+    for mult, suffix in ((1024**3, "GB"), (1024**2, "MB"), (1024, "KB")):
+        if nbytes >= mult and nbytes % mult == 0:
+            return f"{nbytes // mult}{suffix}"
+    return f"{nbytes}B"
+
+
+def is_power_of_two(value: int) -> bool:
+    """True iff ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def log2_exact(value: int) -> int:
+    """Return log2 of a power of two, raising ConfigError otherwise."""
+    if not is_power_of_two(value):
+        raise ConfigError(f"{value} is not a power of two")
+    return value.bit_length() - 1

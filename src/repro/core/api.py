@@ -1,0 +1,62 @@
+"""High-level public API.
+
+Most users need exactly two calls::
+
+    from repro import SystemConfig, run_program, compare_protocols
+    from repro.synth import suite
+
+    program = suite.build("pipeline-ferret", num_threads=16, seed=1)
+    result = run_program(SystemConfig(protocol="arc"), program)
+    comparison = compare_protocols(SystemConfig(num_cores=16), program)
+    print(comparison.normalized_runtime())
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..common.config import ProtocolKind, SystemConfig
+from ..trace.program import Program
+from ..trace.validate import validate_program
+from .results import Comparison, RunResult
+from .simulator import Simulator
+
+ALL_PROTOCOLS = (
+    ProtocolKind.MESI,
+    ProtocolKind.CE,
+    ProtocolKind.CEPLUS,
+    ProtocolKind.ARC,
+)
+
+
+def run_program(
+    cfg: SystemConfig, program: Program, *, validate: bool = True
+) -> RunResult:
+    """Simulate ``program`` on ``cfg`` and return the run's results."""
+    if validate:
+        validate_program(program, cfg.line_size)
+    return Simulator(cfg, program).run()
+
+
+def compare_protocols(
+    cfg: SystemConfig,
+    program: Program,
+    protocols: Iterable[ProtocolKind | str] = ALL_PROTOCOLS,
+    *,
+    validate: bool = True,
+) -> Comparison:
+    """Run ``program`` under several protocols on otherwise-identical
+    hardware and return a :class:`Comparison` (normalized to MESI).
+
+    Always includes MESI (the normalization baseline) even if absent
+    from ``protocols``.
+    """
+    kinds: list[ProtocolKind] = [ProtocolKind(p) for p in protocols]
+    if ProtocolKind.MESI not in kinds:
+        kinds.insert(0, ProtocolKind.MESI)
+    if validate:
+        validate_program(program, cfg.line_size)
+    results: dict[ProtocolKind, RunResult] = {}
+    for kind in kinds:
+        results[kind] = Simulator(cfg.with_protocol(kind), program).run()
+    return Comparison(program_name=program.name, results=results)

@@ -1,0 +1,127 @@
+"""Run statistics.
+
+One :class:`Stats` object is threaded through a simulation; protocols
+increment its counters and append to its conflict log.  Energy and every
+figure in the harness are pure functions of these counters plus the
+network's and DRAM's own accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..common.errors import ConflictRecord
+
+
+@dataclass
+class Stats:
+    """Counters for one simulation run."""
+
+    # private-hierarchy behaviour (l2_hits stays 0 without a private L2;
+    # l1_misses counts misses of the whole private hierarchy)
+    l1_hits: int = 0
+    l2_hits: int = 0
+    l1_misses: int = 0
+    l1_evictions: int = 0
+    l1_writebacks: int = 0
+
+    # LLC / directory behaviour
+    llc_hits: int = 0
+    llc_misses: int = 0
+    llc_evictions: int = 0
+    dir_lookups: int = 0
+
+    # MESI-family coherence actions
+    invalidations_sent: int = 0
+    forwards: int = 0
+    upgrades: int = 0
+    directory_recalls: int = 0
+    # owner->LLC writebacks caused by read-triggered downgrades (zero
+    # under MOESI, whose Owned state retains the dirty data)
+    downgrade_writebacks: int = 0
+
+    # CE / CE+ metadata machinery
+    metadata_spills: int = 0
+    metadata_fills: int = 0
+    metadata_clears: int = 0
+    metadata_checks: int = 0
+    aim_hits: int = 0
+    aim_misses: int = 0
+    aim_evictions: int = 0
+    aim_writebacks: int = 0
+
+    # ARC machinery
+    self_invalidated_lines: int = 0
+    self_downgrades: int = 0
+    arc_registrations: int = 0
+    arc_clear_messages: int = 0
+    arc_write_throughs: int = 0
+    classification_recoveries: int = 0
+
+    # program structure
+    region_boundaries: int = 0
+    accesses: int = 0
+    writes: int = 0
+
+    # outcome
+    cycles: int = 0
+    conflicts: list[ConflictRecord] = field(default_factory=list)
+
+    # -- derived -------------------------------------------------------------
+
+    @property
+    def l1_accesses(self) -> int:
+        """Every access looks up the L1 (hits at any level or misses)."""
+        return self.l1_hits + self.l2_hits + self.l1_misses
+
+    @property
+    def l2_accesses(self) -> int:
+        """The L2 is consulted whenever the L1 misses."""
+        return self.l2_hits + self.l1_misses
+
+    @property
+    def llc_accesses(self) -> int:
+        """Bank activity: data lookups plus directory lookups."""
+        return self.llc_hits + self.llc_misses + self.dir_lookups
+
+    @property
+    def aim_accesses(self) -> int:
+        return self.aim_hits + self.aim_misses + self.aim_writebacks
+
+    @property
+    def l1_miss_rate(self) -> float:
+        """Miss rate of the whole private hierarchy."""
+        total = self.l1_accesses
+        return self.l1_misses / total if total else 0.0
+
+    @property
+    def aim_hit_rate(self) -> float:
+        looked_up = self.aim_hits + self.aim_misses
+        return self.aim_hits / looked_up if looked_up else 0.0
+
+    @property
+    def metadata_ops(self) -> int:
+        """Mask reads/updates performed by conflict-detecting protocols."""
+        return self.metadata_checks + self.arc_registrations
+
+    def record_conflict(self, record: ConflictRecord) -> bool:
+        """Append a conflict if its (line, regions) signature is new.
+
+        Returns True if recorded.  Deduplication mirrors how a delivered
+        exception would be raised once per conflicting region pair, not
+        once per coherence message.
+        """
+        signature = (
+            record.line_addr,
+            record.first_core,
+            record.first_region,
+            record.second_core,
+            record.second_region,
+        )
+        if not hasattr(self, "_conflict_signatures"):
+            self._conflict_signatures: set = set()
+        if signature in self._conflict_signatures:
+            return False
+        self._conflict_signatures.add(signature)
+        self.conflicts.append(record)
+        return True

@@ -1,0 +1,6 @@
+"""Energy model: per-event constants and end-of-run energy computation."""
+
+from .model import EnergyBreakdown, compute_energy
+from .params import EnergyParams
+
+__all__ = ["EnergyBreakdown", "EnergyParams", "compute_energy"]

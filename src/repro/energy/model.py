@@ -1,0 +1,77 @@
+"""Energy computation from event counts.
+
+Energy is a pure function of the run's final counters — the simulator
+never accumulates joules in its hot loop.  ``compute_energy`` takes raw
+counts (so this module depends on nothing above the substrate layer) and
+returns a :class:`EnergyBreakdown` whose components are the bars of the
+paper's energy figure: L1, LLC, AIM, DRAM, NoC, and static.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+from .params import EnergyParams
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Per-component energy in nanojoules."""
+
+    l1_nj: float
+    l2_nj: float
+    llc_nj: float
+    aim_nj: float
+    metadata_nj: float
+    dram_nj: float
+    noc_nj: float
+    static_nj: float
+
+    @property
+    def total_nj(self) -> float:
+        return sum(getattr(self, f.name) for f in fields(self))
+
+    def as_dict(self) -> dict[str, float]:
+        d = {f.name: getattr(self, f.name) for f in fields(self)}
+        d["total_nj"] = self.total_nj
+        return d
+
+    def normalized_to(self, baseline: "EnergyBreakdown") -> dict[str, float]:
+        """Each component (and the total) as a fraction of the *baseline
+        total* — the normalization the stacked energy figure uses."""
+        base = baseline.total_nj
+        if base <= 0:
+            raise ValueError("baseline energy must be positive")
+        d = {f.name: getattr(self, f.name) / base for f in fields(self)}
+        d["total"] = self.total_nj / base
+        return d
+
+
+def compute_energy(
+    params: EnergyParams,
+    *,
+    num_cores: int,
+    with_aim: bool,
+    cycles: int,
+    l1_accesses: int,
+    l2_accesses: int = 0,
+    with_l2: bool = False,
+    llc_accesses: int,
+    aim_accesses: int,
+    metadata_ops: int,
+    dram_bytes: int,
+    flit_hops: int,
+) -> EnergyBreakdown:
+    """Fold a run's counters into an :class:`EnergyBreakdown`."""
+    if cycles < 0:
+        raise ValueError("cycles cannot be negative")
+    return EnergyBreakdown(
+        l1_nj=l1_accesses * params.l1_access_nj,
+        l2_nj=l2_accesses * params.l2_access_nj,
+        llc_nj=llc_accesses * params.llc_access_nj,
+        aim_nj=aim_accesses * params.aim_access_nj,
+        metadata_nj=metadata_ops * params.metadata_op_nj,
+        dram_nj=dram_bytes * params.dram_nj_per_byte,
+        noc_nj=flit_hops * params.noc_nj_per_flit_hop,
+        static_nj=cycles * params.static_nj_per_cycle(num_cores, with_aim, with_l2),
+    )

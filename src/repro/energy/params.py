@@ -1,0 +1,82 @@
+"""Energy constants.
+
+Per-event dynamic energies and per-component static power in the
+magnitudes CACTI/McPAT report for a ~32nm CMP at 2 GHz.  Absolute joules
+are not the point (we are not the authors' toolchain); what matters is
+that each protocol's energy is driven by the same event-count vector the
+paper's energy figure is driven by: cache accesses, AIM accesses, DRAM
+bytes, flit-hops, and cycles of static leakage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class EnergyParams:
+    """Dynamic energy per event (nJ) and static power (mW)."""
+
+    clock_ghz: float = 2.0
+
+    # dynamic energy, nanojoules per event
+    l1_access_nj: float = 0.05
+    l2_access_nj: float = 0.15
+    llc_access_nj: float = 0.40
+    aim_access_nj: float = 0.10
+    dram_nj_per_byte: float = 0.30
+    noc_nj_per_flit_hop: float = 0.012
+    # metadata mask checks/updates inside a cache (CE access-bit ops)
+    metadata_op_nj: float = 0.01
+
+    # static power, milliwatts per component instance
+    core_static_mw: float = 45.0
+    l1_static_mw: float = 4.0
+    l2_static_mw: float = 8.0
+    llc_bank_static_mw: float = 12.0
+    aim_slice_static_mw: float = 2.5
+    noc_router_static_mw: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.clock_ghz <= 0:
+            raise ConfigError("clock frequency must be positive")
+        for name in (
+            "l1_access_nj",
+            "l2_access_nj",
+            "llc_access_nj",
+            "aim_access_nj",
+            "dram_nj_per_byte",
+            "noc_nj_per_flit_hop",
+            "metadata_op_nj",
+            "core_static_mw",
+            "l1_static_mw",
+            "l2_static_mw",
+            "llc_bank_static_mw",
+            "aim_slice_static_mw",
+            "noc_router_static_mw",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"{name} cannot be negative")
+
+    def static_nj_per_cycle(
+        self, num_cores: int, with_aim: bool, with_l2: bool = False
+    ) -> float:
+        """Whole-chip static energy per cycle (nJ).
+
+        AIM slices only leak when the configuration instantiates them
+        (CE+ and ARC; plain CE and MESI have none), and private L2s only
+        when the configuration has them.
+        """
+        per_tile_mw = (
+            self.core_static_mw
+            + self.l1_static_mw
+            + self.llc_bank_static_mw
+            + self.noc_router_static_mw
+            + (self.aim_slice_static_mw if with_aim else 0.0)
+            + (self.l2_static_mw if with_l2 else 0.0)
+        )
+        total_watts = per_tile_mw * num_cores / 1000.0
+        seconds_per_cycle = 1e-9 / self.clock_ghz
+        return total_watts * seconds_per_cycle * 1e9  # joules -> nJ

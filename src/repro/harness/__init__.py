@@ -1,0 +1,33 @@
+"""Experiment harness: registry of paper tables/figures, sweeps, rendering."""
+
+from .charts import chartable, render_bars
+from .experiments import (
+    REGISTRY,
+    Experiment,
+    Settings,
+    clear_comparison_cache,
+    run_experiment,
+)
+from .multiseed import SeedStats, aggregate_normalized, multiseed_table
+from .shapes import ShapeCheck, run_checks
+from .sweep import SweepPoint, series, sweep
+from .tables import TextTable
+
+__all__ = [
+    "Experiment",
+    "SeedStats",
+    "ShapeCheck",
+    "aggregate_normalized",
+    "chartable",
+    "clear_comparison_cache",
+    "multiseed_table",
+    "render_bars",
+    "run_checks",
+    "REGISTRY",
+    "Settings",
+    "SweepPoint",
+    "TextTable",
+    "run_experiment",
+    "series",
+    "sweep",
+]

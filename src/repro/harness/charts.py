@@ -1,0 +1,75 @@
+"""ASCII bar charts for figure-style tables.
+
+The paper's figures are grouped bar charts (one bar per protocol per
+workload).  ``render_bars`` turns a normalized :class:`TextTable` —
+first column = group label, remaining numeric columns = series — into a
+horizontal bar chart that reads well in a terminal and in Markdown code
+blocks.  The run CLI exposes it via ``--chart``.
+"""
+
+from __future__ import annotations
+
+from .tables import TextTable
+
+_BAR_CHAR = "#"
+_BASELINE_CHAR = "|"
+
+
+def render_bars(
+    table: TextTable,
+    *,
+    width: int = 50,
+    baseline: float | None = 1.0,
+) -> str:
+    """Render a table's numeric columns as grouped horizontal bars.
+
+    ``baseline`` draws a reference tick at that value (the MESI = 1.0
+    line in normalized figures); pass None to disable.  Non-numeric
+    cells make a table ineligible — the caller should fall back to
+    ``table.render()``.
+    """
+    series = table.columns[1:]
+    values: list[list[float]] = []
+    for row in table.rows:
+        try:
+            values.append([float(v) for v in row[1:]])
+        except (TypeError, ValueError):
+            raise ValueError("render_bars needs numeric series columns")
+
+    peak = max((v for row in values for v in row), default=0.0)
+    if baseline is not None:
+        peak = max(peak, baseline)
+    if peak <= 0:
+        peak = 1.0
+    scale = width / peak
+    label_width = max(
+        [len(str(row[0])) for row in table.rows] + [len(s) for s in series]
+    )
+
+    lines = [table.title, "=" * len(table.title)]
+    baseline_pos = int(baseline * scale) if baseline is not None else -1
+    for row, row_values in zip(table.rows, values):
+        lines.append(f"{row[0]}:")
+        for name, value in zip(series, row_values):
+            bar_len = int(value * scale)
+            bar = _BAR_CHAR * bar_len
+            if 0 <= baseline_pos:
+                if bar_len < baseline_pos:
+                    bar = bar + " " * (baseline_pos - bar_len) + _BASELINE_CHAR
+                elif bar_len > baseline_pos:
+                    bar = (
+                        bar[:baseline_pos] + _BASELINE_CHAR + bar[baseline_pos + 1 :]
+                    )
+            lines.append(f"  {name:>{label_width}s} {bar} {value:.3f}")
+    return "\n".join(lines)
+
+
+def chartable(table: TextTable) -> bool:
+    """True if every non-label cell is numeric (bar-chart eligible)."""
+    if len(table.columns) < 2 or not table.rows:
+        return False
+    return all(
+        isinstance(cell, (int, float)) and not isinstance(cell, bool)
+        for row in table.rows
+        for cell in row[1:]
+    )

@@ -1,0 +1,757 @@
+"""The experiment registry — one entry per paper table/figure.
+
+Every entry in :data:`REGISTRY` regenerates one artifact of the paper's
+evaluation (see DESIGN.md's experiment index): it builds the workloads,
+runs the protocols, and returns :class:`~repro.harness.tables.TextTable`
+objects holding exactly the rows/series the paper reports.
+
+Experiments are parameterized by :class:`Settings`; ``Settings.bench()``
+is the scaled-down preset the ``benchmarks/`` harness uses, while
+``Settings.full()`` matches the paper-scale runs used in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable
+
+from ..common.config import AimConfig, ProtocolKind, SystemConfig
+from ..core.api import ALL_PROTOCOLS, compare_protocols, run_program
+from ..core.results import Comparison, RunResult, geomean
+from ..synth.suite import RACY_SUITE, SUITE, build_workload
+from .tables import TextTable
+
+DETECTORS = (ProtocolKind.CE, ProtocolKind.CEPLUS, ProtocolKind.ARC)
+_PROTO_COLS = [p.value for p in DETECTORS]
+
+
+@dataclass(frozen=True)
+class Settings:
+    """Knobs shared by all experiments."""
+
+    num_threads: int = 16
+    seed: int = 1
+    scale: float = 1.0
+    core_counts: tuple[int, ...] = (8, 16, 32)
+
+    @classmethod
+    def bench(cls) -> "Settings":
+        """Scaled-down preset for the pytest-benchmark harness."""
+        return cls(num_threads=8, scale=0.15, core_counts=(4, 8, 16))
+
+    @classmethod
+    def quick(cls) -> "Settings":
+        """Tiny preset for integration tests."""
+        return cls(num_threads=4, scale=0.05, core_counts=(2, 4))
+
+    @classmethod
+    def full(cls) -> "Settings":
+        return cls()
+
+    def config(self, num_cores: int | None = None) -> SystemConfig:
+        return SystemConfig(num_cores=num_cores or self.num_threads)
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One reproducible paper artifact."""
+
+    exp_id: str
+    paper_artifact: str
+    description: str
+    run: Callable[[Settings], list[TextTable]]
+
+
+REGISTRY: dict[str, Experiment] = {}
+
+
+def experiment(exp_id: str, paper_artifact: str, description: str):
+    """Decorator registering an experiment function."""
+
+    def register(fn: Callable[[Settings], list[TextTable]]) -> Callable:
+        if exp_id in REGISTRY:
+            raise ValueError(f"experiment {exp_id!r} registered twice")
+        REGISTRY[exp_id] = Experiment(exp_id, paper_artifact, description, fn)
+        return fn
+
+    return register
+
+
+def run_experiment(exp_id: str, settings: Settings | None = None) -> list[TextTable]:
+    """Run one registered experiment and return its tables."""
+    exp = REGISTRY.get(exp_id)
+    if exp is None:
+        raise KeyError(f"unknown experiment {exp_id!r}; known: {sorted(REGISTRY)}")
+    return exp.run(settings or Settings())
+
+
+# --------------------------------------------------------------------------
+# shared helpers
+# --------------------------------------------------------------------------
+
+# The performance, energy and traffic figures all run the identical
+# (workload, settings) comparisons; simulations are deterministic, so an
+# in-process memo cuts a full report's wall time by ~3x.
+_COMPARISON_CACHE: dict[tuple, Comparison] = {}
+_CACHE_LIMIT = 128
+
+
+def clear_comparison_cache() -> None:
+    """Drop all memoized protocol comparisons."""
+    _COMPARISON_CACHE.clear()
+
+
+def _suite_comparisons(settings: Settings, names=SUITE) -> dict[str, Comparison]:
+    cfg = settings.config()
+    out: dict[str, Comparison] = {}
+    for name in names:
+        key = (name, settings.num_threads, settings.seed, settings.scale)
+        comparison = _COMPARISON_CACHE.get(key)
+        if comparison is None:
+            program = build_workload(
+                name, num_threads=settings.num_threads, seed=settings.seed,
+                scale=settings.scale,
+            )
+            comparison = compare_protocols(cfg, program)
+            if len(_COMPARISON_CACHE) >= _CACHE_LIMIT:
+                _COMPARISON_CACHE.clear()
+            _COMPARISON_CACHE[key] = comparison
+        out[name] = comparison
+    return out
+
+
+def _normalized_table(
+    title: str, comparisons: dict[str, Comparison], metric: str
+) -> TextTable:
+    """Per-workload normalized metric + geomean row (a paper bar chart)."""
+    table = TextTable(title, ["workload"] + _PROTO_COLS)
+    per_proto: dict[ProtocolKind, list[float]] = {p: [] for p in DETECTORS}
+    for name, comparison in comparisons.items():
+        normalized = comparison.normalized(metric)
+        row = [normalized[p] for p in DETECTORS]
+        for p, v in zip(DETECTORS, row):
+            per_proto[p].append(v)
+        table.add_row(name, *row)
+    table.add_row("geomean", *(geomean(per_proto[p]) for p in DETECTORS))
+    return table
+
+
+# --------------------------------------------------------------------------
+# Table I — simulated system parameters
+# --------------------------------------------------------------------------
+
+
+@experiment(
+    "table1_system_config",
+    "Table I",
+    "Simulated system parameters",
+)
+def table1_system_config(settings: Settings) -> list[TextTable]:
+    cfg = settings.config()
+    table = TextTable("Table I: simulated system parameters", ["component", "value"])
+    for component, value in cfg.table():
+        table.add_row(component, value)
+    return [table]
+
+
+# --------------------------------------------------------------------------
+# Table II — workload characteristics
+# --------------------------------------------------------------------------
+
+
+@experiment(
+    "table2_workloads",
+    "Table II",
+    "Workload characteristics: threads, accesses, regions, sharing",
+)
+def table2_workloads(settings: Settings) -> list[TextTable]:
+    table = TextTable(
+        "Table II: workload characteristics",
+        [
+            "workload",
+            "threads",
+            "accesses",
+            "write %",
+            "regions",
+            "mean region len",
+            "lines",
+            "shared %",
+        ],
+    )
+    for name in SUITE + RACY_SUITE:
+        program = build_workload(
+            name, num_threads=settings.num_threads, seed=settings.seed,
+            scale=settings.scale,
+        )
+        stats = program.stats()
+        table.add_row(
+            name,
+            stats.num_threads,
+            stats.num_accesses,
+            100.0 * stats.write_fraction,
+            stats.num_regions,
+            stats.mean_region_length,
+            stats.num_lines,
+            100.0 * stats.shared_fraction,
+        )
+    return [table]
+
+
+# --------------------------------------------------------------------------
+# Table: hardware storage overhead
+# --------------------------------------------------------------------------
+
+
+@experiment(
+    "table_storage",
+    "Table storage overhead",
+    "Added on-chip state per system: access bits, AIM, ARC tables",
+)
+def table_storage(settings: Settings) -> list[TextTable]:
+    cfg = settings.config()
+    line_bits = cfg.line_size  # one bit per byte per mask
+    l1_lines = cfg.l1.num_lines
+
+    def kb(bits: float) -> float:
+        return bits / 8 / 1024
+
+    # CE/CE+: read+write mask per L1 line, plus a region tag (8 bits).
+    ce_l1_bits = l1_lines * (2 * line_bits + 8)
+    # ARC: accumulated + registered mask pairs, region tag, shared bit.
+    arc_l1_bits = l1_lines * (4 * line_bits + 8 + 1)
+    aim_bits = cfg.aim.size * 8
+    # ARC's bank table is provisioned like an AIM slice (same capacity).
+    arc_table_bits = cfg.aim.size * 8
+
+    table = TextTable(
+        "Added on-chip storage (per core / whole chip, KB)",
+        ["system", "L1 access bits", "bank metadata", "per-core total", "chip total"],
+    )
+    rows = [
+        ("MESI", 0.0, 0.0),
+        ("CE", kb(ce_l1_bits), 0.0),
+        ("CE+", kb(ce_l1_bits), kb(aim_bits)),
+        ("ARC", kb(arc_l1_bits), kb(arc_table_bits)),
+    ]
+    for name, l1_kb, bank_kb in rows:
+        per_core = l1_kb + bank_kb
+        table.add_row(name, l1_kb, bank_kb, per_core, per_core * cfg.num_cores)
+    return [table]
+
+
+# --------------------------------------------------------------------------
+# Figures: performance, energy, traffic (the paper's main results)
+# --------------------------------------------------------------------------
+
+
+@experiment(
+    "fig_perf_16",
+    "Fig. performance",
+    "Runtime normalized to MESI, per workload (default core count)",
+)
+def fig_perf_16(settings: Settings) -> list[TextTable]:
+    comparisons = _suite_comparisons(settings)
+    return [
+        _normalized_table(
+            f"Runtime normalized to MESI ({settings.num_threads} cores)",
+            comparisons,
+            "cycles",
+        )
+    ]
+
+
+@experiment(
+    "fig_perf_scaling",
+    "Fig. performance vs core count",
+    "Geomean normalized runtime at several core counts",
+)
+def fig_perf_scaling(settings: Settings) -> list[TextTable]:
+    table = TextTable(
+        "Geomean runtime normalized to MESI vs core count",
+        ["cores"] + _PROTO_COLS,
+    )
+    for cores in settings.core_counts:
+        scaled = replace(settings, num_threads=cores)
+        comparisons = _suite_comparisons(scaled)
+        values = []
+        for proto in DETECTORS:
+            values.append(
+                geomean([c.normalized("cycles")[proto] for c in comparisons.values()])
+            )
+        table.add_row(cores, *values)
+    return [table]
+
+
+@experiment(
+    "fig_energy",
+    "Fig. energy",
+    "Energy normalized to MESI, per workload, plus component breakdown",
+)
+def fig_energy(settings: Settings) -> list[TextTable]:
+    comparisons = _suite_comparisons(settings)
+    totals = _normalized_table(
+        f"Energy normalized to MESI ({settings.num_threads} cores)",
+        comparisons,
+        "energy_nj",
+    )
+    components = ["l1_nj", "l2_nj", "llc_nj", "aim_nj", "metadata_nj", "dram_nj", "noc_nj", "static_nj"]
+    breakdown = TextTable(
+        "Energy component shares (geomean across suite, fraction of MESI total)",
+        ["protocol"] + [c.removesuffix("_nj") for c in components] + ["total"],
+    )
+    for proto in (ProtocolKind.MESI,) + DETECTORS:
+        shares: dict[str, list[float]] = {c: [] for c in components + ["total"]}
+        for comparison in comparisons.values():
+            base = comparison.baseline.energy()
+            norm = comparison.results[proto].energy().normalized_to(base)
+            for c in components:
+                shares[c].append(max(norm[c], 1e-12))
+            shares["total"].append(norm["total"])
+        breakdown.add_row(
+            proto.value,
+            *(geomean(shares[c]) for c in components),
+            geomean(shares["total"]),
+        )
+    return [totals, breakdown]
+
+
+@experiment(
+    "fig_onchip_traffic",
+    "Fig. on-chip network traffic",
+    "Flit-hops normalized to MESI, per workload",
+)
+def fig_onchip_traffic(settings: Settings) -> list[TextTable]:
+    comparisons = _suite_comparisons(settings)
+    return [
+        _normalized_table(
+            f"On-chip flit-hops normalized to MESI ({settings.num_threads} cores)",
+            comparisons,
+            "flit_hops",
+        )
+    ]
+
+
+@experiment(
+    "fig_traffic_breakdown",
+    "Fig. traffic breakdown",
+    "On-chip flit-hops by message category, per protocol (suite mean)",
+)
+def fig_traffic_breakdown(settings: Settings) -> list[TextTable]:
+    from ..noc.messages import CATEGORY_NAMES
+
+    comparisons = _suite_comparisons(settings)
+    categories = list(CATEGORY_NAMES.values())
+    table = TextTable(
+        "Flit-hops by category, as a fraction of MESI's total "
+        f"(mean across suite, {settings.num_threads} cores)",
+        ["protocol"] + categories + ["total"],
+    )
+    for proto in (ProtocolKind.MESI,) + DETECTORS:
+        shares = {c: 0.0 for c in categories}
+        totals = 0.0
+        for comparison in comparisons.values():
+            base_total = max(comparison.baseline.flit_hops, 1)
+            by_cat = comparison.results[proto].flit_hops_by_category()
+            for category in categories:
+                shares[category] += by_cat[category] / base_total
+            totals += comparison.results[proto].flit_hops / base_total
+        n = len(comparisons)
+        table.add_row(
+            proto.value, *(shares[c] / n for c in categories), totals / n
+        )
+    return [table]
+
+
+@experiment(
+    "fig_offchip_traffic",
+    "Fig. off-chip memory traffic",
+    "Off-chip bytes (data + metadata) normalized to MESI, per workload",
+)
+def fig_offchip_traffic(settings: Settings) -> list[TextTable]:
+    comparisons = _suite_comparisons(settings)
+    total = _normalized_table(
+        f"Off-chip bytes normalized to MESI ({settings.num_threads} cores)",
+        comparisons,
+        "offchip_bytes",
+    )
+    meta = TextTable(
+        "Off-chip metadata bytes (absolute)",
+        ["workload"] + _PROTO_COLS,
+    )
+    for name, comparison in comparisons.items():
+        meta.add_row(
+            name,
+            *(comparison.results[p].offchip_metadata_bytes for p in DETECTORS),
+        )
+    return [total, meta]
+
+
+# --------------------------------------------------------------------------
+# Sensitivity studies
+# --------------------------------------------------------------------------
+
+
+@experiment(
+    "fig_aim_sensitivity",
+    "Fig. AIM size sensitivity",
+    "CE+ runtime and AIM hit rate vs AIM capacity",
+)
+def fig_aim_sensitivity(settings: Settings) -> list[TextTable]:
+    # The metadata-heavy workload: large regions whose footprint spills.
+    program = build_workload(
+        "dataparallel-blackscholes",
+        num_threads=settings.num_threads,
+        seed=settings.seed,
+        scale=settings.scale,
+    )
+    base_cfg = settings.config()
+    baseline = run_program(base_cfg, program)
+    ce_result = run_program(base_cfg.with_protocol(ProtocolKind.CE), program)
+
+    table = TextTable(
+        "CE+ sensitivity to AIM capacity (dataparallel-blackscholes)",
+        ["aim size", "runtime vs MESI", "AIM hit rate", "offchip metadata bytes"],
+    )
+    table.add_row(
+        "CE (no AIM)",
+        ce_result.cycles / baseline.cycles,
+        0.0,
+        ce_result.offchip_metadata_bytes,
+    )
+    for kb in (16, 32, 64, 128, 256, 512):
+        cfg = replace(
+            base_cfg.with_protocol(ProtocolKind.CEPLUS),
+            aim=AimConfig(size=kb * 1024),
+        )
+        result = run_program(cfg, program)
+        table.add_row(
+            f"{kb}KB",
+            result.cycles / baseline.cycles,
+            result.stats.aim_hit_rate,
+            result.offchip_metadata_bytes,
+        )
+    return [table]
+
+
+@experiment(
+    "fig_region_length",
+    "Fig. region-length sensitivity",
+    "Runtime vs mean region length (sync density sweep)",
+)
+def fig_region_length(settings: Settings) -> list[TextTable]:
+    table = TextTable(
+        "Runtime normalized to MESI vs mean region length",
+        ["phases", "mean region len"] + _PROTO_COLS,
+    )
+    total_reads = 4800
+    total_writes = 1600
+    for phases in (1, 2, 4, 8, 16):
+        program = build_workload(
+            "dataparallel-blackscholes",
+            num_threads=settings.num_threads,
+            seed=settings.seed,
+            scale=settings.scale,
+            phases=phases,
+            reads_per_phase=total_reads // phases,
+            writes_per_phase=total_writes // phases,
+        )
+        comparison = compare_protocols(settings.config(), program)
+        normalized = comparison.normalized("cycles")
+        stats = program.stats()
+        table.add_row(
+            phases,
+            stats.mean_region_length,
+            *(normalized[p] for p in DETECTORS),
+        )
+    return [table]
+
+
+# --------------------------------------------------------------------------
+# Conflicts (Table III) and network saturation
+# --------------------------------------------------------------------------
+
+
+@experiment(
+    "table3_conflicts",
+    "Table conflicts-detected",
+    "Region conflict exceptions on racy workloads, per protocol",
+)
+def table3_conflicts(settings: Settings) -> list[TextTable]:
+    table = TextTable(
+        "Conflicts detected on racy workloads",
+        ["workload", "protocol", "conflicts", "W-W", "R-W/W-R", "detection points"],
+    )
+    for name in RACY_SUITE:
+        program = build_workload(
+            name, num_threads=settings.num_threads, seed=settings.seed,
+            scale=settings.scale,
+        )
+        comparison = compare_protocols(settings.config(), program)
+        for proto in (ProtocolKind.MESI,) + DETECTORS:
+            result = comparison.results[proto]
+            ww = sum(1 for c in result.stats.conflicts if c.kind() == "W-W")
+            rw = result.num_conflicts - ww
+            vias = sorted({c.detected_by for c in result.stats.conflicts})
+            table.add_row(
+                name, proto.value, result.num_conflicts, ww, rw, ",".join(vias) or "-"
+            )
+    return [table]
+
+
+@experiment(
+    "fig_network_saturation",
+    "Fig./Sec. network saturation",
+    "Peak link utilization and saturation under write-heavy sharing",
+)
+def fig_network_saturation(settings: Settings) -> list[TextTable]:
+    cores = max(settings.core_counts)
+    cfg = settings.config(num_cores=cores)
+    # Bank-concentrated false sharing with no private work: every
+    # coherence transaction funnels through one tile's links, the
+    # write-heavy worst case the paper's saturation discussion targets.
+    program = build_workload(
+        "false-sharing",
+        num_threads=cores,
+        seed=settings.seed,
+        scale=settings.scale,
+        rounds=600,
+        array_lines=4,
+        private_ops=2,
+        gap=1,
+        bank_concentrate=True,
+    )
+    table = TextTable(
+        f"Network saturation, write-heavy sharing ({cores} cores)",
+        [
+            "protocol",
+            "runtime vs MESI",
+            "flit-hops vs MESI",
+            "peak link util",
+            "saturated link-windows",
+            "queue cyc/kcycle",
+        ],
+    )
+    comparison = compare_protocols(cfg, program)
+    base = comparison.baseline
+    for proto in (ProtocolKind.MESI,) + DETECTORS:
+        result = comparison.results[proto]
+        table.add_row(
+            proto.value,
+            result.cycles / base.cycles,
+            result.flit_hops / max(base.flit_hops, 1),
+            result.net.peak_link_utilization,
+            result.net.saturated_link_windows,
+            1000.0 * result.net.queue_delay_cycles / max(result.cycles, 1),
+        )
+    return [table]
+
+
+# --------------------------------------------------------------------------
+# Ablations (design choices called out in DESIGN.md)
+# --------------------------------------------------------------------------
+
+
+@experiment(
+    "abl_arc_lazy_clear",
+    "Ablation",
+    "ARC lazy epoch clearing vs explicit clear messages",
+)
+def abl_arc_lazy_clear(settings: Settings) -> list[TextTable]:
+    table = TextTable(
+        "ARC metadata clearing: lazy epochs vs explicit messages",
+        ["workload", "variant", "cycles", "flit-hops", "clear msgs"],
+    )
+    cfg = settings.config().with_protocol(ProtocolKind.ARC)
+    for name in ("lock-counter", "migratory-token", "pipeline-ferret"):
+        program = build_workload(
+            name, num_threads=settings.num_threads, seed=settings.seed,
+            scale=settings.scale,
+        )
+        for lazy in (True, False):
+            result = run_program(replace(cfg, arc_lazy_clear=lazy), program)
+            table.add_row(
+                name,
+                "lazy" if lazy else "explicit",
+                result.cycles,
+                result.flit_hops,
+                result.stats.arc_clear_messages,
+            )
+    return [table]
+
+
+@experiment(
+    "abl_arc_write_through",
+    "Ablation",
+    "ARC write-back + self-downgrade vs VIPS-style write-through shared data",
+)
+def abl_arc_write_through(settings: Settings) -> list[TextTable]:
+    table = TextTable(
+        "ARC shared-data write policy",
+        ["workload", "policy", "cycles", "flit-hops", "WT stores", "downgrades"],
+    )
+    base_cfg = settings.config().with_protocol(ProtocolKind.ARC)
+    for name in ("migratory-token", "pipeline-ferret", "false-sharing"):
+        program = build_workload(
+            name, num_threads=settings.num_threads, seed=settings.seed,
+            scale=settings.scale,
+        )
+        for write_through in (False, True):
+            result = run_program(
+                replace(base_cfg, arc_write_through=write_through), program
+            )
+            table.add_row(
+                name,
+                "write-through" if write_through else "write-back",
+                result.cycles,
+                result.flit_hops,
+                result.stats.arc_write_throughs,
+                result.stats.self_downgrades,
+            )
+    return [table]
+
+
+@experiment(
+    "abl_moesi",
+    "Ablation",
+    "MESI vs MOESI baseline: the Owned state removes downgrade writebacks",
+)
+def abl_moesi(settings: Settings) -> list[TextTable]:
+    table = TextTable(
+        "Baseline coherence variant: MESI vs MOESI",
+        ["workload", "variant", "cycles", "flit-hops", "downgrade writebacks"],
+    )
+    base_cfg = settings.config()  # MESI protocol
+    for name in ("stencil-ocean", "migratory-token", "readers-writers"):
+        program = build_workload(
+            name, num_threads=settings.num_threads, seed=settings.seed,
+            scale=settings.scale,
+        )
+        for owned in (False, True):
+            result = run_program(replace(base_cfg, use_owned_state=owned), program)
+            table.add_row(
+                name,
+                "MOESI" if owned else "MESI",
+                result.cycles,
+                result.flit_hops,
+                result.stats.downgrade_writebacks,
+            )
+    return [table]
+
+
+@experiment(
+    "abl_sparse_directory",
+    "Ablation",
+    "Full-map vs bounded directory: recalls force CE metadata spills",
+)
+def abl_sparse_directory(settings: Settings) -> list[TextTable]:
+    table = TextTable(
+        "Directory capacity ablation (CE, dataparallel-blackscholes)",
+        [
+            "directory",
+            "cycles",
+            "recalls",
+            "invalidations",
+            "metadata spills",
+            "offchip metadata bytes",
+        ],
+    )
+    program = build_workload(
+        "dataparallel-blackscholes",
+        num_threads=settings.num_threads,
+        seed=settings.seed,
+        scale=settings.scale,
+    )
+    base_cfg = settings.config().with_protocol(ProtocolKind.CE)
+    for label, entries in (("full-map", None), ("1K/bank", 1024), ("256/bank", 256)):
+        cfg = replace(base_cfg, directory_entries_per_bank=entries)
+        result = run_program(cfg, program)
+        stats = result.stats
+        table.add_row(
+            label,
+            result.cycles,
+            stats.directory_recalls,
+            stats.invalidations_sent,
+            stats.metadata_spills,
+            result.offchip_metadata_bytes,
+        )
+    return [table]
+
+
+@experiment(
+    "abl_private_l2",
+    "Ablation",
+    "Adding a private L2 behind each L1: miss filtering vs lookup latency",
+)
+def abl_private_l2(settings: Settings) -> list[TextTable]:
+    from ..common.config import CacheConfig
+
+    table = TextTable(
+        "Private L2 ablation (CE, metadata-heavy workload)",
+        [
+            "config",
+            "cycles",
+            "private misses",
+            "L2 hit rate",
+            "metadata spills",
+            "flit-hops",
+        ],
+    )
+    program = build_workload(
+        "dataparallel-blackscholes",
+        num_threads=settings.num_threads,
+        seed=settings.seed,
+        scale=settings.scale,
+    )
+    base_cfg = settings.config().with_protocol(ProtocolKind.CE)
+    configs = [
+        ("L1 only", base_cfg),
+        (
+            "L1 + 256KB L2",
+            replace(
+                base_cfg,
+                l2=CacheConfig(size=256 * 1024, assoc=8, hit_latency=6),
+            ),
+        ),
+    ]
+    for label, cfg in configs:
+        result = run_program(cfg, program)
+        stats = result.stats
+        l2_rate = stats.l2_hits / stats.l2_accesses if stats.l2_accesses else 0.0
+        table.add_row(
+            label,
+            result.cycles,
+            stats.l1_misses,
+            l2_rate,
+            stats.metadata_spills,
+            result.flit_hops,
+        )
+    return [table]
+
+
+@experiment(
+    "abl_aim_writeback",
+    "Ablation",
+    "AIM write-back vs write-through metadata policy",
+)
+def abl_aim_writeback(settings: Settings) -> list[TextTable]:
+    table = TextTable(
+        "CE+ AIM write policy (dataparallel-blackscholes)",
+        ["policy", "cycles", "offchip metadata bytes", "AIM hit rate"],
+    )
+    program = build_workload(
+        "dataparallel-blackscholes",
+        num_threads=settings.num_threads,
+        seed=settings.seed,
+        scale=settings.scale,
+    )
+    base_cfg = settings.config().with_protocol(ProtocolKind.CEPLUS)
+    for write_through in (False, True):
+        cfg = replace(base_cfg, aim=AimConfig(write_through=write_through))
+        result = run_program(cfg, program)
+        table.add_row(
+            "write-through" if write_through else "write-back",
+            result.cycles,
+            result.offchip_metadata_bytes,
+            result.stats.aim_hit_rate,
+        )
+    return [table]

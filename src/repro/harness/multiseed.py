@@ -1,0 +1,80 @@
+"""Multi-seed aggregation.
+
+The simulator is deterministic per seed; running an experiment across
+several workload seeds measures how sensitive a result is to the
+generated trace.  ``aggregate_normalized`` runs the same comparison for
+each seed and reports mean, min and max of the normalized metric — the
+error bars a careful evaluation section would include.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.config import ProtocolKind, SystemConfig
+from ..core.api import compare_protocols
+from ..synth.base import generate
+from .tables import TextTable
+
+
+@dataclass(frozen=True)
+class SeedStats:
+    """Normalized-metric statistics across seeds for one protocol."""
+
+    mean: float
+    minimum: float
+    maximum: float
+
+    @property
+    def spread(self) -> float:
+        return self.maximum - self.minimum
+
+
+def aggregate_normalized(
+    workload: str,
+    metric: str,
+    *,
+    num_threads: int = 8,
+    scale: float = 0.2,
+    seeds: tuple[int, ...] = (1, 2, 3),
+    protocols: tuple[ProtocolKind, ...] = (
+        ProtocolKind.CE,
+        ProtocolKind.CEPLUS,
+        ProtocolKind.ARC,
+    ),
+) -> dict[ProtocolKind, SeedStats]:
+    """Run ``workload`` under every seed; aggregate ``metric`` vs MESI."""
+    if not seeds:
+        raise ValueError("at least one seed required")
+    cfg = SystemConfig(num_cores=num_threads)
+    samples: dict[ProtocolKind, list[float]] = {p: [] for p in protocols}
+    for seed in seeds:
+        program = generate(
+            workload, num_threads=num_threads, seed=seed, scale=scale
+        )
+        comparison = compare_protocols(cfg, program, protocols=protocols)
+        normalized = comparison.normalized(metric)
+        for proto in protocols:
+            samples[proto].append(normalized[proto])
+    return {
+        proto: SeedStats(
+            mean=sum(values) / len(values),
+            minimum=min(values),
+            maximum=max(values),
+        )
+        for proto, values in samples.items()
+    }
+
+
+def multiseed_table(
+    workload: str, metric: str, **kwargs
+) -> TextTable:
+    """Render multi-seed statistics as a table."""
+    stats = aggregate_normalized(workload, metric, **kwargs)
+    table = TextTable(
+        f"{workload}: {metric} vs MESI across seeds",
+        ["protocol", "mean", "min", "max", "spread"],
+    )
+    for proto, s in stats.items():
+        table.add_row(proto.value, s.mean, s.minimum, s.maximum, s.spread)
+    return table

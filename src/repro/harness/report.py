@@ -1,0 +1,85 @@
+"""Markdown report generation.
+
+``build_report`` runs every registered experiment at the given settings
+and renders one Markdown document: for each experiment, the regenerated
+tables plus the expected-shape verdicts from
+:mod:`repro.harness.shapes`.  ``python -m repro.harness.report`` writes
+it to a file — this is how the repository's EXPERIMENTS.md measurement
+blocks are produced.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from .experiments import REGISTRY, Settings, run_experiment
+from .shapes import run_checks
+
+
+def build_report(settings: Settings, exp_ids: list[str] | None = None) -> str:
+    """Run experiments and render the full Markdown report."""
+    targets = exp_ids or list(REGISTRY)
+    lines: list[str] = [
+        "# Experiment report",
+        "",
+        f"Settings: {settings.num_threads} threads, seed {settings.seed}, "
+        f"scale {settings.scale}, core counts {list(settings.core_counts)}.",
+        "",
+    ]
+    total_checks = passed_checks = 0
+    for exp_id in targets:
+        exp = REGISTRY[exp_id]
+        start = time.perf_counter()
+        tables = run_experiment(exp_id, settings)
+        elapsed = time.perf_counter() - start
+        lines.append(f"## {exp_id} — {exp.paper_artifact}")
+        lines.append("")
+        lines.append(f"{exp.description}  *({elapsed:.1f}s)*")
+        lines.append("")
+        for table in tables:
+            lines.append("```")
+            lines.append(table.render())
+            lines.append("```")
+            lines.append("")
+        checks = run_checks(exp_id, tables)
+        if checks:
+            lines.append("Shape checks:")
+            lines.append("")
+            for check in checks:
+                total_checks += 1
+                passed_checks += check.passed
+                status = "PASS" if check.passed else "FAIL"
+                detail = f" — {check.detail}" if check.detail else ""
+                lines.append(f"* **{status}**: {check.claim}{detail}")
+            lines.append("")
+    lines.insert(
+        4, f"Shape checks passed: **{passed_checks}/{total_checks}**."
+    )
+    lines.insert(5, "")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.harness.report")
+    parser.add_argument("--out", type=Path, default=Path("report.md"))
+    parser.add_argument(
+        "--preset", choices=("full", "bench", "quick"), default="full"
+    )
+    parser.add_argument("experiments", nargs="*", help="subset of experiment ids")
+    args = parser.parse_args(argv)
+    settings = {
+        "full": Settings.full,
+        "bench": Settings.bench,
+        "quick": Settings.quick,
+    }[args.preset]()
+    report = build_report(settings, args.experiments or None)
+    args.out.write_text(report)
+    print(f"wrote {args.out} ({len(report.splitlines())} lines)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,84 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.harness.run --list
+    python -m repro.harness.run fig_perf_16
+    python -m repro.harness.run all --preset bench
+    python -m repro.harness.run fig_aim_sensitivity --threads 16 --scale 1.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from dataclasses import replace
+
+from .charts import chartable, render_bars
+from .experiments import REGISTRY, Settings, run_experiment
+
+
+def _build_settings(args: argparse.Namespace) -> Settings:
+    presets = {
+        "full": Settings.full,
+        "bench": Settings.bench,
+        "quick": Settings.quick,
+    }
+    settings = presets[args.preset]()
+    overrides = {
+        name: value
+        for name, value in (
+            ("num_threads", args.threads),
+            ("scale", args.scale),
+            ("seed", args.seed),
+        )
+        if value is not None
+    }
+    return replace(settings, **overrides) if overrides else settings
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.harness.run",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("experiment", nargs="?", help="experiment id, or 'all'")
+    parser.add_argument("--list", action="store_true", help="list experiments")
+    parser.add_argument(
+        "--preset", choices=("full", "bench", "quick"), default="full"
+    )
+    parser.add_argument("--threads", type=int, default=None)
+    parser.add_argument("--scale", type=float, default=None)
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument(
+        "--chart", action="store_true",
+        help="render numeric tables as ASCII bar charts",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list or not args.experiment:
+        print(f"{'experiment id':26s}  {'paper artifact':28s}  description")
+        for exp in REGISTRY.values():
+            print(f"{exp.exp_id:26s}  {exp.paper_artifact:28s}  {exp.description}")
+        return 0
+
+    settings = _build_settings(args)
+    targets = list(REGISTRY) if args.experiment == "all" else [args.experiment]
+    for exp_id in targets:
+        start = time.perf_counter()
+        tables = run_experiment(exp_id, settings)
+        elapsed = time.perf_counter() - start
+        print(f"\n### {exp_id} ({REGISTRY[exp_id].paper_artifact}) "
+              f"[{elapsed:.1f}s]\n")
+        for table in tables:
+            if args.chart and chartable(table):
+                print(render_bars(table))
+            else:
+                print(table.render())
+            print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,334 @@
+"""Expected-shape checks for every experiment.
+
+The reproduction's contract is not to match the paper's absolute
+numbers (our substrate is a different simulator) but to reproduce the
+*shape* of each result — who wins, in which direction, where the costs
+come from.  Each function takes an experiment's tables and returns
+:class:`ShapeCheck` verdicts; the report generator prints them and the
+benchmarks assert the same inequalities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from .tables import TextTable
+
+
+@dataclass(frozen=True)
+class ShapeCheck:
+    claim: str
+    passed: bool
+    detail: str
+
+
+def _check(claim: str, passed: bool, detail: str) -> ShapeCheck:
+    return ShapeCheck(claim=claim, passed=bool(passed), detail=detail)
+
+
+CHECKERS: dict[str, Callable[[list[TextTable]], list[ShapeCheck]]] = {}
+
+
+def checker(exp_id: str):
+    def register(fn):
+        CHECKERS[exp_id] = fn
+        return fn
+
+    return register
+
+
+def run_checks(exp_id: str, tables: list[TextTable]) -> list[ShapeCheck]:
+    """Run the shape checks for one experiment (empty if none defined)."""
+    fn = CHECKERS.get(exp_id)
+    return fn(tables) if fn else []
+
+
+@checker("table_storage")
+def _storage(tables):
+    rows = tables[0].row_dict("system")
+    return [
+        _check(
+            "storage ordering: MESI = 0 < CE < CE+; ARC's L1 bits exceed CE's",
+            rows["MESI"]["per-core total"] == 0
+            and 0 < rows["CE"]["per-core total"] < rows["CE+"]["per-core total"]
+            and rows["ARC"]["L1 access bits"] > rows["CE"]["L1 access bits"],
+            f"CE {rows['CE']['per-core total']:.1f}KB, "
+            f"CE+ {rows['CE+']['per-core total']:.1f}KB, "
+            f"ARC {rows['ARC']['per-core total']:.1f}KB per core",
+        )
+    ]
+
+
+@checker("fig_perf_16")
+def _perf(tables):
+    geomean = tables[0].row_dict("workload")["geomean"]
+    return [
+        _check(
+            "CE is never faster than CE+ overall (metadata in DRAM vs AIM)",
+            geomean["ce"] >= geomean["ce+"] - 0.02,
+            f"CE {geomean['ce']:.3f} vs CE+ {geomean['ce+']:.3f}",
+        ),
+        _check(
+            "ARC is competitive with CE+ (within 15% geomean)",
+            geomean["arc"] <= geomean["ce+"] * 1.15,
+            f"ARC {geomean['arc']:.3f} vs CE+ {geomean['ce+']:.3f}",
+        ),
+    ]
+
+
+@checker("fig_perf_scaling")
+def _scaling(tables):
+    table = tables[0]
+    ce = table.column("ce")
+    ceplus = table.column("ce+")
+    return [
+        _check(
+            "CE's overhead does not shrink as cores grow",
+            ce[-1] >= ce[0] - 0.02,
+            f"CE {ce[0]:.3f} -> {ce[-1]:.3f}",
+        ),
+        _check(
+            "CE+ stays at or below CE at every core count",
+            all(cp <= c + 0.02 for c, cp in zip(ce, ceplus)),
+            f"CE {['%.3f' % v for v in ce]} vs CE+ {['%.3f' % v for v in ceplus]}",
+        ),
+    ]
+
+
+@checker("fig_energy")
+def _energy(tables):
+    geomean = tables[0].row_dict("workload")["geomean"]
+    return [
+        _check(
+            "CE's energy is not below CE+'s (off-chip metadata is costly)",
+            geomean["ce"] >= geomean["ce+"] - 0.03,
+            f"CE {geomean['ce']:.3f} vs CE+ {geomean['ce+']:.3f}",
+        )
+    ]
+
+
+@checker("fig_onchip_traffic")
+def _onchip(tables):
+    rows = tables[0].row_dict("workload")
+    geomean = rows["geomean"]
+    migratory = rows.get("migratory-token", geomean)
+    return [
+        _check(
+            "CE/CE+ never send fewer flit-hops than MESI",
+            geomean["ce"] >= 0.999 and geomean["ce+"] >= 0.999,
+            f"CE {geomean['ce']:.3f}, CE+ {geomean['ce+']:.3f}",
+        ),
+        _check(
+            "ARC does not exceed CE+ on migratory write sharing",
+            migratory["arc"] <= migratory["ce+"] + 0.05,
+            f"ARC {migratory['arc']:.3f} vs CE+ {migratory['ce+']:.3f}",
+        ),
+    ]
+
+
+@checker("fig_traffic_breakdown")
+def _breakdown(tables):
+    rows = tables[0].row_dict("protocol")
+    return [
+        _check(
+            "ARC sends no invalidation traffic",
+            rows["arc"]["inv"] == 0.0,
+            f"ARC inv share {rows['arc']['inv']:.4f}",
+        ),
+        _check(
+            "data messages dominate every protocol's traffic",
+            all(
+                rows[p]["data"]
+                == max(v for k, v in rows[p].items() if k not in ("protocol", "total"))
+                for p in ("mesi", "ce", "ce+", "arc")
+            ),
+            "",
+        ),
+        _check(
+            "only conflict detectors send metadata traffic",
+            rows["mesi"]["meta"] == 0.0,
+            "",
+        ),
+    ]
+
+
+@checker("fig_offchip_traffic")
+def _offchip(tables):
+    totals, metadata = tables
+    geomean = totals.row_dict("workload")["geomean"]
+    return [
+        _check(
+            "CE moves the most bytes off-chip",
+            geomean["ce"] >= geomean["ce+"] - 1e-9
+            and geomean["ce"] >= geomean["arc"] - 1e-9,
+            f"CE {geomean['ce']:.3f}, CE+ {geomean['ce+']:.3f}, ARC {geomean['arc']:.3f}",
+        ),
+        _check(
+            "ARC moves zero metadata off-chip",
+            all(v == 0 for v in metadata.column("arc")),
+            f"ARC metadata bytes: {metadata.column('arc')}",
+        ),
+    ]
+
+
+@checker("fig_aim_sensitivity")
+def _aim(tables):
+    table = tables[0]
+    meta = table.column("offchip metadata bytes")
+    return [
+        _check(
+            "plain CE is the off-chip metadata ceiling",
+            meta[0] == max(meta),
+            f"CE {meta[0]:,} vs max CE+ {max(meta[1:]):,}",
+        ),
+        _check(
+            "growing the AIM never increases off-chip metadata",
+            all(a >= b for a, b in zip(meta[1:], meta[2:])),
+            f"{meta[1:]}",
+        ),
+    ]
+
+
+@checker("fig_region_length")
+def _region_length(tables):
+    table = tables[0]
+    ce = table.column("ce")
+    return [
+        _check(
+            "CE's overhead grows with region length",
+            ce[0] >= ce[-1] - 0.02,
+            f"longest {ce[0]:.3f} vs shortest {ce[-1]:.3f}",
+        )
+    ]
+
+
+@checker("table3_conflicts")
+def _conflicts(tables):
+    table = tables[0]
+    mesi_silent = all(row[2] == 0 for row in table.rows if row[1] == "mesi")
+    detectors_report = all(row[2] > 0 for row in table.rows if row[1] != "mesi")
+    return [
+        _check("MESI reports no conflicts", mesi_silent, ""),
+        _check(
+            "every detector reports conflicts on every racy workload",
+            detectors_report,
+            "",
+        ),
+    ]
+
+
+@checker("fig_network_saturation")
+def _saturation(tables):
+    rows = tables[0].row_dict("protocol")
+    return [
+        _check(
+            "CE+ sends more on-chip traffic than MESI under write sharing",
+            rows["ce+"]["flit-hops vs MESI"] > 1.0,
+            f"CE+ {rows['ce+']['flit-hops vs MESI']:.3f}x",
+        ),
+        _check(
+            "ARC sends less on-chip traffic than CE+",
+            rows["arc"]["flit-hops vs MESI"] < rows["ce+"]["flit-hops vs MESI"],
+            f"ARC {rows['arc']['flit-hops vs MESI']:.3f}x vs "
+            f"CE+ {rows['ce+']['flit-hops vs MESI']:.3f}x",
+        ),
+        _check(
+            "ARC queues less per cycle than CE+",
+            rows["arc"]["queue cyc/kcycle"] <= rows["ce+"]["queue cyc/kcycle"] + 1e-9,
+            f"ARC {rows['arc']['queue cyc/kcycle']:.1f} vs "
+            f"CE+ {rows['ce+']['queue cyc/kcycle']:.1f} per kcycle",
+        ),
+    ]
+
+
+@checker("abl_arc_lazy_clear")
+def _lazy_clear(tables):
+    table = tables[0]
+    lazy_silent = all(row[4] == 0 for row in table.rows if row[1] == "lazy")
+    explicit_sends = all(row[4] > 0 for row in table.rows if row[1] == "explicit")
+    return [
+        _check("lazy clearing sends zero messages", lazy_silent, ""),
+        _check("explicit clearing sends messages", explicit_sends, ""),
+    ]
+
+
+@checker("abl_arc_write_through")
+def _arc_wt(tables):
+    table = tables[0]
+    wb_zero = all(row[4] == 0 for row in table.rows if row[1] == "write-back")
+    wt_positive = all(row[4] > 0 for row in table.rows if row[1] == "write-through")
+    return [
+        _check("write-back issues no write-through stores", wb_zero, ""),
+        _check("write-through issues per-store messages", wt_positive, ""),
+    ]
+
+
+@checker("abl_moesi")
+def _moesi(tables):
+    rows = tables[0].rows
+    moesi_rows = [r for r in rows if r[1] == "MOESI"]
+    mesi = {r[0]: r for r in rows if r[1] == "MESI"}
+    return [
+        _check(
+            "MOESI eliminates downgrade writebacks outright",
+            all(r[4] == 0 for r in moesi_rows)
+            and any(mesi[r[0]][4] > 0 for r in moesi_rows),
+            "; ".join(f"{r[0]}: {mesi[r[0]][4]:,} -> 0" for r in moesi_rows),
+        ),
+        _check(
+            "traffic drops on write-then-reshare patterns and never grows "
+            "beyond the forward-vs-LLC-sourcing trade (<3%)",
+            all(r[3] <= mesi[r[0]][3] * 1.03 for r in moesi_rows)
+            and any(r[3] < mesi[r[0]][3] for r in moesi_rows),
+            "; ".join(
+                f"{r[0]}: {mesi[r[0]][3]:,} -> {r[3]:,} flit-hops"
+                for r in moesi_rows
+            ),
+        ),
+    ]
+
+
+@checker("abl_sparse_directory")
+def _sparse_dir(tables):
+    rows = tables[0].row_dict("directory")
+    return [
+        _check(
+            "full-map never recalls; pressure produces recalls and spills",
+            rows["full-map"]["recalls"] == 0
+            and rows["256/bank"]["recalls"] > 0
+            and rows["256/bank"]["metadata spills"]
+            >= rows["full-map"]["metadata spills"],
+            f"recalls 0 -> {rows['1K/bank']['recalls']:,} -> "
+            f"{rows['256/bank']['recalls']:,}",
+        )
+    ]
+
+
+@checker("abl_private_l2")
+def _private_l2(tables):
+    rows = tables[0].row_dict("config")
+    base, with_l2 = rows["L1 only"], rows["L1 + 256KB L2"]
+    return [
+        _check(
+            "a private L2 filters misses and CE metadata spills",
+            with_l2["private misses"] <= base["private misses"]
+            and with_l2["metadata spills"] <= base["metadata spills"],
+            f"misses {base['private misses']:,} -> {with_l2['private misses']:,}, "
+            f"spills {base['metadata spills']:,} -> {with_l2['metadata spills']:,}",
+        )
+    ]
+
+
+@checker("abl_aim_writeback")
+def _aim_wb(tables):
+    by_policy = tables[0].row_dict("policy")
+    return [
+        _check(
+            "write-back AIM never moves more metadata off-chip than write-through",
+            by_policy["write-back"]["offchip metadata bytes"]
+            <= by_policy["write-through"]["offchip metadata bytes"],
+            f"WB {by_policy['write-back']['offchip metadata bytes']:,} vs "
+            f"WT {by_policy['write-through']['offchip metadata bytes']:,}",
+        )
+    ]

@@ -1,0 +1,51 @@
+"""Generic parameter sweeps.
+
+A thin layer over :func:`repro.core.api.run_program` used by the
+sensitivity experiments and available to users exploring the design
+space (AIM sizes, core counts, workload parameters).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..common.config import SystemConfig
+from ..core.api import run_program
+from ..core.results import RunResult
+from ..trace.program import Program
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (parameter value, result) pair."""
+
+    value: Any
+    result: RunResult
+
+    def metric(self, name: str) -> float:
+        return self.result.summary()[name]
+
+
+def sweep(
+    values: Iterable[Any],
+    make_config: Callable[[Any], SystemConfig],
+    make_program: Callable[[Any], Program],
+) -> list[SweepPoint]:
+    """Run the simulator across ``values``.
+
+    ``make_config`` and ``make_program`` map each sweep value to the
+    configuration and workload of that point; either may ignore the
+    value to hold its axis fixed.
+    """
+    points: list[SweepPoint] = []
+    for value in values:
+        result = run_program(make_config(value), make_program(value))
+        points.append(SweepPoint(value=value, result=result))
+    return points
+
+
+def series(points: list[SweepPoint], metric: str) -> list[tuple[Any, float]]:
+    """Extract an (x, y) series from sweep points."""
+    return [(p.value, p.metric(metric)) for p in points]

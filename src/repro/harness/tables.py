@@ -1,0 +1,78 @@
+"""Plain-text table and series rendering.
+
+Every experiment's output is a :class:`TextTable` (or a few) — the same
+rows/columns the paper's tables and figures report, printable in a
+terminal and easy to assert on in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def _fmt(value) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+@dataclass
+class TextTable:
+    """A titled table of heterogeneous cells."""
+
+    title: str
+    columns: list[str]
+    rows: list[list] = field(default_factory=list)
+
+    def add_row(self, *cells) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(list(cells))
+
+    def column(self, name: str) -> list:
+        """All values of one column (for assertions in tests/benches)."""
+        idx = self.columns.index(name)
+        return [row[idx] for row in self.rows]
+
+    def row_dict(self, key: str) -> dict[str, list]:
+        """Map first-column value -> full row dict."""
+        out = {}
+        for row in self.rows:
+            out[str(row[0])] = dict(zip(self.columns, row))
+        return out
+
+    def render(self) -> str:
+        cells = [[_fmt(c) for c in row] for row in self.rows]
+        widths = [
+            max(len(self.columns[i]), *(len(row[i]) for row in cells))
+            if cells
+            else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        lines = [self.title, "=" * len(self.title)]
+        header = "  ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in cells:
+            lines.append(
+                "  ".join(
+                    cell.ljust(w) if i == 0 else cell.rjust(w)
+                    for i, (cell, w) in enumerate(zip(row, widths))
+                )
+            )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

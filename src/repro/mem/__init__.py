@@ -1,0 +1,7 @@
+"""Memory-hierarchy substrate: addressing, caches, DRAM."""
+
+from .address import PAGE_SIZE, AddressMap
+from .cache import SetAssocCache
+from .dram import DramModel
+
+__all__ = ["PAGE_SIZE", "AddressMap", "DramModel", "SetAssocCache"]

@@ -1,0 +1,49 @@
+"""Address arithmetic: lines, banks, pages.
+
+The LLC is statically banked by line address (low-order line-index bits),
+the standard tile-interleaved mapping.  All functions take plain ints so
+the simulator hot loop avoids array round-trips.
+"""
+
+from __future__ import annotations
+
+from ..common.units import is_power_of_two
+from ..common.errors import ConfigError
+
+PAGE_SIZE = 4096
+
+
+class AddressMap:
+    """Precomputed shifts/masks for one (line size, bank count) geometry."""
+
+    __slots__ = ("line_size", "num_banks", "_line_shift", "_bank_mask")
+
+    def __init__(self, line_size: int, num_banks: int):
+        if not is_power_of_two(line_size):
+            raise ConfigError(f"line size must be a power of two, got {line_size}")
+        if not is_power_of_two(num_banks):
+            raise ConfigError(f"bank count must be a power of two, got {num_banks}")
+        self.line_size = line_size
+        self.num_banks = num_banks
+        self._line_shift = line_size.bit_length() - 1
+        self._bank_mask = num_banks - 1
+
+    def line(self, addr: int) -> int:
+        """Line base address containing ``addr``."""
+        return (addr >> self._line_shift) << self._line_shift
+
+    def line_index(self, addr: int) -> int:
+        """Global line number of ``addr``."""
+        return addr >> self._line_shift
+
+    def offset(self, addr: int) -> int:
+        """Byte offset of ``addr`` within its line."""
+        return addr & (self.line_size - 1)
+
+    def home_bank(self, addr: int) -> int:
+        """LLC bank (= directory slice = AIM slice) owning ``addr``'s line."""
+        return (addr >> self._line_shift) & self._bank_mask
+
+    def page(self, addr: int) -> int:
+        """Page base address (used for private/shared classification)."""
+        return addr & ~(PAGE_SIZE - 1)

@@ -1,0 +1,123 @@
+"""Off-chip DRAM model.
+
+Fixed access latency plus a bandwidth-aware queueing penalty.  The model
+tracks bytes transferred inside coarse time windows; once demand in the
+current window exceeds the channels' aggregate capacity times a
+saturation fraction, additional accesses pay a delay that grows toward
+``max_queue_penalty`` as utilization approaches/passes 1.0.  This is how
+CE's metadata spill/fill traffic — and CE+'s residual misses — turn into
+runtime loss, reproducing the paper's "off-chip memory network
+bandwidth" effect without per-command DRAM simulation.
+
+Data and metadata traffic are accounted separately so the off-chip
+traffic figure can break them out.
+"""
+
+from __future__ import annotations
+
+from ..common.config import DramConfig
+
+_SATURATION_START = 0.7  # utilization where queueing starts to bite
+
+
+class DramModel:
+    """One memory controller fronting ``cfg.channels`` DRAM channels."""
+
+    __slots__ = (
+        "cfg",
+        "_capacity_per_window",
+        "_window_bytes",
+        "data_bytes_read",
+        "data_bytes_written",
+        "metadata_bytes_read",
+        "metadata_bytes_written",
+        "accesses",
+        "metadata_accesses",
+        "queue_delay_cycles",
+        "saturated_accesses",
+    )
+
+    def __init__(self, cfg: DramConfig):
+        self.cfg = cfg
+        self._capacity_per_window = (
+            cfg.channels * cfg.bytes_per_cycle * cfg.window_cycles
+        )
+        # window index -> bytes transferred in that window (small, pruned)
+        self._window_bytes: dict[int, float] = {}
+        self.data_bytes_read = 0
+        self.data_bytes_written = 0
+        self.metadata_bytes_read = 0
+        self.metadata_bytes_written = 0
+        self.accesses = 0
+        self.metadata_accesses = 0
+        self.queue_delay_cycles = 0
+        self.saturated_accesses = 0
+
+    # -- accounting ----------------------------------------------------------
+
+    @property
+    def total_bytes(self) -> int:
+        return (
+            self.data_bytes_read
+            + self.data_bytes_written
+            + self.metadata_bytes_read
+            + self.metadata_bytes_written
+        )
+
+    @property
+    def metadata_bytes(self) -> int:
+        return self.metadata_bytes_read + self.metadata_bytes_written
+
+    def utilization(self, cycle: int) -> float:
+        """Fraction of window capacity consumed in ``cycle``'s window."""
+        window = cycle // self.cfg.window_cycles
+        return self._window_bytes.get(window, 0.0) / self._capacity_per_window
+
+    # -- the access path -------------------------------------------------------
+
+    def access(
+        self, cycle: int, nbytes: int, *, write: bool, metadata: bool = False
+    ) -> int:
+        """Perform one DRAM transfer; returns its latency in cycles.
+
+        ``cycle`` is the issuing core's current clock.  Cores run on
+        loosely-synchronized local clocks, so windows are keyed by cycle
+        rather than assuming monotonic arrival.
+        """
+        window = cycle // self.cfg.window_cycles
+        used = self._window_bytes.get(window, 0.0)
+        utilization = used / self._capacity_per_window
+
+        delay = self._queue_delay(utilization)
+        self._window_bytes[window] = used + nbytes
+        if len(self._window_bytes) > 8:
+            self._prune(window)
+
+        self.accesses += 1
+        if metadata:
+            self.metadata_accesses += 1
+            if write:
+                self.metadata_bytes_written += nbytes
+            else:
+                self.metadata_bytes_read += nbytes
+        else:
+            if write:
+                self.data_bytes_written += nbytes
+            else:
+                self.data_bytes_read += nbytes
+        if delay:
+            self.queue_delay_cycles += delay
+            self.saturated_accesses += 1
+        return self.cfg.latency + delay
+
+    def _queue_delay(self, utilization: float) -> int:
+        if utilization <= _SATURATION_START:
+            return 0
+        # Linear ramp from saturation start to 2x capacity, clamped.
+        span = 2.0 - _SATURATION_START
+        frac = min((utilization - _SATURATION_START) / span, 1.0)
+        return int(frac * self.cfg.max_queue_penalty)
+
+    def _prune(self, current_window: int) -> None:
+        for key in [w for w in self._window_bytes if w < current_window - 4]:
+            del self._window_bytes[key]

@@ -1,0 +1,29 @@
+"""On-chip interconnect substrate: mesh topology, messages, timing model."""
+
+from .messages import (
+    CATEGORY_NAMES,
+    DATA,
+    FWD,
+    INV,
+    META,
+    NUM_CATEGORIES,
+    REGION,
+    REQ,
+    flits_for_payload,
+)
+from .network import MeshNetwork
+from .topology import MeshTopology
+
+__all__ = [
+    "CATEGORY_NAMES",
+    "DATA",
+    "FWD",
+    "INV",
+    "META",
+    "MeshNetwork",
+    "MeshTopology",
+    "NUM_CATEGORIES",
+    "REGION",
+    "REQ",
+    "flits_for_payload",
+]

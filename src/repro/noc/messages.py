@@ -1,0 +1,54 @@
+"""Message categories and flit sizing.
+
+The simulator does not model individual packets; it accounts *flit-hops*
+per message category, the unit the paper's on-chip-traffic figure is
+plotted in.  A message of ``payload`` bytes is one head/control flit plus
+``ceil(payload / flit_bytes)`` body flits.
+
+Categories
+----------
+``REQ``          GetS/GetM/upgrade requests (control only).
+``DATA``         Data responses and writebacks (line-sized payload).
+``INV``          Invalidations and their acks (MESI/CE eager coherence).
+``FWD``          Directory forwards to remote owners.
+``META``         Access-information metadata movement (CE/CE+ spills,
+                 fills, region-end clears; ARC mask registrations).
+``REGION``       Region-boundary notifications (ARC region end,
+                 self-downgrade control).
+"""
+
+from __future__ import annotations
+
+REQ = 0
+DATA = 1
+INV = 2
+FWD = 3
+META = 4
+REGION = 5
+
+CATEGORY_NAMES = {
+    REQ: "req",
+    DATA: "data",
+    INV: "inv",
+    FWD: "fwd",
+    META: "meta",
+    REGION: "region",
+}
+
+NUM_CATEGORIES = len(CATEGORY_NAMES)
+
+
+def flits_for_payload(payload_bytes: int, flit_bytes: int) -> int:
+    """Flits needed for a message carrying ``payload_bytes`` of payload.
+
+    One head flit always; zero-payload (control) messages are exactly one
+    flit.
+
+    >>> flits_for_payload(0, 16)
+    1
+    >>> flits_for_payload(64, 16)
+    5
+    """
+    if payload_bytes < 0:
+        raise ValueError(f"negative payload: {payload_bytes}")
+    return 1 + (payload_bytes + flit_bytes - 1) // flit_bytes

@@ -1,0 +1,130 @@
+"""Mesh network timing + traffic accounting.
+
+``MeshNetwork.send`` is the single entry point the protocols use to move
+a message.  It returns the message latency:
+
+``hops * (router + link) + (flits - 1)``  (wormhole pipelining)
+``+ sum of per-link queueing penalties``  (contention)
+
+Contention is tracked per directed link in coarse windows: each link can
+carry one flit per cycle; when the flits charged to a link within the
+current window exceed ``saturation_fraction`` of the window, messages
+crossing it pay a penalty that ramps up to ``max_queue_penalty``.  The
+network also records the peak per-window link utilization and the number
+of link-windows that saturated — the quantities behind the paper's
+observation that CE+ *saturates the on-chip interconnect* at high core
+counts while ARC does not.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..common.config import NocConfig
+from .messages import NUM_CATEGORIES, flits_for_payload
+from .topology import MeshTopology
+
+_RAMP_END = 1.5  # utilization at which the queue penalty is fully applied
+
+
+class MeshNetwork:
+    """Timing/accounting model over a :class:`MeshTopology`."""
+
+    __slots__ = (
+        "cfg",
+        "topology",
+        "flit_hops_by_category",
+        "messages_by_category",
+        "queue_delay_cycles",
+        "peak_link_utilization",
+        "saturated_link_windows",
+        "_window_links",
+        "_window_cap",
+    )
+
+    def __init__(self, topology: MeshTopology, cfg: NocConfig):
+        self.cfg = cfg
+        self.topology = topology
+        self.flit_hops_by_category = [0] * NUM_CATEGORIES
+        self.messages_by_category = [0] * NUM_CATEGORIES
+        self.queue_delay_cycles = 0
+        self.peak_link_utilization = 0.0
+        self.saturated_link_windows = 0
+        # window index -> per-link flit counts for that window
+        self._window_links: dict[int, np.ndarray] = {}
+        self._window_cap = float(cfg.window_cycles)
+
+    # -- accounting views ------------------------------------------------------
+
+    @property
+    def total_flit_hops(self) -> int:
+        return sum(self.flit_hops_by_category)
+
+    @property
+    def total_messages(self) -> int:
+        return sum(self.messages_by_category)
+
+    def link_utilization(self, cycle: int) -> np.ndarray:
+        """Per-link utilization (flits/cycle) in ``cycle``'s window."""
+        window = cycle // self.cfg.window_cycles
+        counts = self._window_links.get(window)
+        if counts is None:
+            return np.zeros(self.topology.num_links)
+        return counts / self._window_cap
+
+    # -- the send path -----------------------------------------------------------
+
+    def send(
+        self,
+        src: int,
+        dst: int,
+        payload_bytes: int,
+        category: int,
+        cycle: int,
+    ) -> int:
+        """Send one message; returns its latency in cycles.
+
+        ``src == dst`` models a tile-local transfer (core to its own LLC
+        bank): zero network latency and zero flit-hops, but the message
+        is still counted in ``messages_by_category``.
+        """
+        flits = flits_for_payload(payload_bytes, self.cfg.flit_bytes)
+        self.messages_by_category[category] += 1
+        if src == dst:
+            return 0
+
+        route = self.topology.route(src, dst)
+        hops = len(route)
+        self.flit_hops_by_category[category] += flits * hops
+
+        window = cycle // self.cfg.window_cycles
+        counts = self._window_links.get(window)
+        if counts is None:
+            counts = np.zeros(self.topology.num_links)
+            self._window_links[window] = counts
+            if len(self._window_links) > 8:
+                self._prune(window)
+
+        delay = 0
+        sat_threshold = self.cfg.saturation_fraction
+        for link in route:
+            utilization = counts[link] / self._window_cap
+            if utilization > self.peak_link_utilization:
+                self.peak_link_utilization = utilization
+            if utilization > sat_threshold:
+                frac = min(
+                    (utilization - sat_threshold) / (_RAMP_END - sat_threshold), 1.0
+                )
+                delay += int(frac * self.cfg.max_queue_penalty)
+                if utilization >= 1.0:
+                    self.saturated_link_windows += 1
+            counts[link] += flits
+
+        if delay:
+            self.queue_delay_cycles += delay
+        base = hops * (self.cfg.router_latency + self.cfg.link_latency) + (flits - 1)
+        return base + delay
+
+    def _prune(self, current_window: int) -> None:
+        for key in [w for w in self._window_links if w < current_window - 4]:
+            del self._window_links[key]

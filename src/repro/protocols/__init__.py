@@ -1,0 +1,46 @@
+"""Coherence + conflict-detection protocols: MESI, CE, CE+, ARC."""
+
+from typing import TYPE_CHECKING
+
+from ..common.config import ProtocolKind
+from ..common.errors import ConfigError
+from .arc import ArcProtocol
+from .base import CoherenceProtocol, DirEntry, MesiLine
+from .ce import CeProtocol
+from .ceplus import CePlusProtocol
+from .mesi import MesiProtocol
+from .metadata import AccessInfoTable, SpilledEntry
+
+if TYPE_CHECKING:
+    from ..core.machine import Machine
+
+PROTOCOL_CLASSES: dict[ProtocolKind, type[CoherenceProtocol]] = {
+    ProtocolKind.MESI: MesiProtocol,
+    ProtocolKind.CE: CeProtocol,
+    ProtocolKind.CEPLUS: CePlusProtocol,
+    ProtocolKind.ARC: ArcProtocol,
+}
+
+
+def make_protocol(machine: "Machine") -> CoherenceProtocol:
+    """Instantiate the protocol selected by the machine's configuration."""
+    kind = machine.cfg.protocol
+    cls = PROTOCOL_CLASSES.get(kind)
+    if cls is None:
+        raise ConfigError(f"unknown protocol {kind!r}")
+    return cls(machine)
+
+
+__all__ = [
+    "AccessInfoTable",
+    "ArcProtocol",
+    "CePlusProtocol",
+    "CeProtocol",
+    "CoherenceProtocol",
+    "DirEntry",
+    "MesiLine",
+    "MesiProtocol",
+    "PROTOCOL_CLASSES",
+    "SpilledEntry",
+    "make_protocol",
+]

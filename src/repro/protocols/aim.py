@@ -1,0 +1,87 @@
+"""The access information memory (AIM) — CE+'s on-chip metadata cache.
+
+One AIM slice sits next to each LLC bank and caches spilled
+access-information entries for lines homed at that bank.  The
+*architectural* metadata contents live in the protocol's
+:class:`~repro.protocols.metadata.AccessInfoTable`; the AIM models only
+where those bits physically are (on-chip vs DRAM), i.e. the latency and
+off-chip traffic of reaching them:
+
+* read hit: AIM latency.
+* read miss: AIM latency + DRAM metadata fill (+ dirty victim
+  writeback), then the entry is resident.
+* write (spill/update/clear): write-allocate.  Under the default
+  write-back policy dirty entries only reach DRAM on eviction; the
+  write-through ablation pays a DRAM metadata write every time.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..common.config import AimConfig
+from ..mem.cache import SetAssocCache
+from ..mem.dram import DramModel
+
+if TYPE_CHECKING:
+    from ..core.stats import Stats
+
+
+class _AimEntry:
+    __slots__ = ("dirty",)
+
+    def __init__(self, dirty: bool):
+        self.dirty = dirty
+
+
+class AimSlice:
+    """One bank's AIM slice (a small set-associative metadata cache)."""
+
+    __slots__ = ("cfg", "metadata_bytes", "dram", "stats", "cache")
+
+    def __init__(
+        self, cfg: AimConfig, metadata_bytes: int, dram: DramModel, stats: "Stats"
+    ):
+        self.cfg = cfg
+        self.metadata_bytes = metadata_bytes
+        self.dram = dram
+        self.stats = stats
+        # Entries are keyed by line address; reuse the line-indexed cache
+        # with the AIM's own geometry (entry-sized "lines").
+        self.cache = SetAssocCache(cfg.num_sets, cfg.assoc, line_size=64)
+
+    def read(self, line: int, cycle: int) -> int:
+        """Look up a line's metadata; returns latency."""
+        latency = self.cfg.latency
+        if self.cache.get(line) is not None:
+            self.stats.aim_hits += 1
+            return latency
+        self.stats.aim_misses += 1
+        latency += self.dram.access(
+            cycle, self.metadata_bytes, write=False, metadata=True
+        )
+        self._install(line, dirty=False, cycle=cycle)
+        return latency
+
+    def write(self, line: int, cycle: int) -> int:
+        """Spill/update/clear a line's metadata; returns latency."""
+        latency = self.cfg.latency
+        self.stats.aim_writebacks += 1
+        payload = self.cache.get(line)
+        if payload is not None:
+            payload.dirty = not self.cfg.write_through
+        else:
+            self._install(line, dirty=not self.cfg.write_through, cycle=cycle)
+        if self.cfg.write_through:
+            latency += self.dram.access(
+                cycle, self.metadata_bytes, write=True, metadata=True
+            )
+        return latency
+
+    def _install(self, line: int, *, dirty: bool, cycle: int) -> None:
+        victim = self.cache.insert(line, _AimEntry(dirty))
+        if victim is not None:
+            self.stats.aim_evictions += 1
+            _, entry = victim
+            if entry.dirty:
+                self.dram.access(cycle, self.metadata_bytes, write=True, metadata=True)

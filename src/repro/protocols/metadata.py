@@ -1,0 +1,101 @@
+"""Access-information metadata shared by CE, CE+ and ARC.
+
+``SpilledEntry`` holds one core's byte-level read/write masks for one
+line, tagged with the region index that produced them.  An entry is
+*live* only while that region is still the core's current region; stale
+entries are semantically cleared (CE flash-clears, ARC epoch-tags) and
+are reclaimed opportunistically.
+"""
+
+from __future__ import annotations
+
+
+class SpilledEntry:
+    """One (line, core) access-information record."""
+
+    __slots__ = ("read_mask", "write_mask", "region")
+
+    def __init__(self, read_mask: int, write_mask: int, region: int):
+        self.read_mask = read_mask
+        self.write_mask = write_mask
+        self.region = region
+
+    def merge(self, read_mask: int, write_mask: int) -> None:
+        self.read_mask |= read_mask
+        self.write_mask |= write_mask
+
+    def conflicts_with(self, mask: int, is_write: bool) -> int:
+        """Byte overlap that makes ``mask`` conflict with this entry.
+
+        A write conflicts with any recorded access; a read only with
+        recorded writes.  Returns the overlapping byte mask (0 = none).
+        """
+        if is_write:
+            return mask & (self.read_mask | self.write_mask)
+        return mask & self.write_mask
+
+
+class AccessInfoTable:
+    """line -> core -> SpilledEntry, with stale-entry reclamation.
+
+    Used both as CE's in-memory metadata (architectural contents cached
+    by the AIM) and as ARC's LLC-resident access-information table.
+    """
+
+    __slots__ = ("_table",)
+
+    def __init__(self) -> None:
+        self._table: dict[int, dict[int, SpilledEntry]] = {}
+
+    def get_line(self, line: int) -> dict[int, SpilledEntry] | None:
+        return self._table.get(line)
+
+    def upsert(
+        self, line: int, core: int, read_mask: int, write_mask: int, region: int
+    ) -> SpilledEntry:
+        """Merge masks into (line, core)'s entry, resetting it if the
+        recorded region is no longer current (``region`` differs)."""
+        per_line = self._table.setdefault(line, {})
+        entry = per_line.get(core)
+        if entry is None or entry.region != region:
+            entry = SpilledEntry(read_mask, write_mask, region)
+            per_line[core] = entry
+        else:
+            entry.merge(read_mask, write_mask)
+        return entry
+
+    def remove(self, line: int, core: int) -> SpilledEntry | None:
+        per_line = self._table.get(line)
+        if per_line is None:
+            return None
+        entry = per_line.pop(core, None)
+        if not per_line:
+            del self._table[line]
+        return entry
+
+    def live_others(
+        self, line: int, core: int, current_region_of
+    ) -> list[tuple[int, SpilledEntry]]:
+        """Entries of *other* cores whose regions are still in progress.
+
+        ``current_region_of`` maps core -> current region index.  Stale
+        entries encountered on the way are reclaimed (lazy clearing).
+        """
+        per_line = self._table.get(line)
+        if per_line is None:
+            return []
+        live: list[tuple[int, SpilledEntry]] = []
+        stale: list[int] = []
+        for other, entry in per_line.items():
+            if entry.region != current_region_of[other]:
+                stale.append(other)
+            elif other != core:
+                live.append((other, entry))
+        for other in stale:
+            del per_line[other]
+        if not per_line:
+            del self._table[line]
+        return live
+
+    def __len__(self) -> int:
+        return sum(len(per_line) for per_line in self._table.values())

@@ -1,0 +1,29 @@
+"""Synthetic multithreaded workloads mimicking PARSEC/SPLASH-2 sharing patterns."""
+
+from .base import generate, registered_workloads, scaled, workload
+from .patterns import AddressSpace, TraceAssembler, random_span, strided_span
+from .suite import (
+    EXTRA_WORKLOADS,
+    RACY_SUITE,
+    SUITE,
+    all_workload_names,
+    build_suite,
+    build_workload,
+)
+
+__all__ = [
+    "AddressSpace",
+    "EXTRA_WORKLOADS",
+    "RACY_SUITE",
+    "SUITE",
+    "TraceAssembler",
+    "all_workload_names",
+    "build_suite",
+    "build_workload",
+    "generate",
+    "random_span",
+    "registered_workloads",
+    "scaled",
+    "strided_span",
+    "workload",
+]

@@ -1,0 +1,67 @@
+"""Barrier-phased all-to-all exchange ("radix-sort permutation").
+
+Each round, every thread writes a dedicated line-aligned slot in every
+*other* thread's inbox, then a barrier, then each thread reads its whole
+inbox — the key-permutation step of a parallel radix sort, and the
+densest conflict-free communication pattern in the catalogue: every
+(writer, reader) pair communicates every round, with ownership of each
+inbox slot ping-ponging between exactly two cores.
+
+Conflict-free by construction (slots are per-pair, writes and reads are
+separated by the barrier), but coherence-intense: under MESI every slot
+line bounces writer -> reader -> writer each round; under ARC the slots
+classify shared after round one and flow through the LLC.
+"""
+
+from __future__ import annotations
+
+from ..common.rng import make_rng
+from ..trace.program import Program
+from .base import scaled, workload
+from .patterns import AddressSpace, TraceAssembler, random_span, strided_span
+
+
+@workload("alltoall-radix")
+def generate(
+    num_threads: int,
+    seed: int,
+    scale: float,
+    *,
+    rounds: int = 30,
+    slot_words: int = 8,
+    local_ops: int = 64,
+    gap: int = 1,
+) -> Program:
+    rounds = scaled(rounds, scale)
+    space = AddressSpace()
+    # inbox[receiver][sender]: one line-aligned slot per ordered pair
+    slot_bytes = max(64, slot_words * 8)
+    inbox = [
+        [space.alloc(slot_bytes) for _sender in range(num_threads)]
+        for _receiver in range(num_threads)
+    ]
+    locals_ = space.alloc_per_thread(num_threads, 64 * 1024)
+
+    traces = []
+    for tid in range(num_threads):
+        rng = make_rng(seed, "alltoall", tid)
+        asm = TraceAssembler()
+        for _round in range(rounds):
+            # local bucketing work on private data
+            asm.accesses(
+                random_span(rng, locals_[tid], 64 * 1024, local_ops),
+                rng.random(local_ops) < 0.4,
+                gap=gap,
+            )
+            # scatter: write my slot in every other thread's inbox
+            for receiver in range(num_threads):
+                if receiver != tid:
+                    asm.writes(strided_span(inbox[receiver][tid], slot_words))
+            asm.barrier(0)
+            # gather: read everything others wrote to me
+            for sender in range(num_threads):
+                if sender != tid:
+                    asm.reads(strided_span(inbox[tid][sender], slot_words))
+            asm.barrier(1)
+        traces.append(asm.build())
+    return Program(traces, name="alltoall-radix")

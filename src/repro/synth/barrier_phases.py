@@ -1,0 +1,64 @@
+"""Barrier-phased stencil ("ocean/fft-like").
+
+SPLASH-2's ocean/fft pattern: the grid is partitioned into per-thread
+row blocks; each phase a thread reads its own block plus the *boundary
+rows* of its neighbours (written by them in the previous phase) and
+rewrites its own block.  Producer->consumer sharing is always separated
+by a barrier, so there are no conflicts — but unlike the data-parallel
+workload the sharing involves *writes*, so MESI-family protocols pay
+invalidations/forwards on every boundary row each phase while ARC pays
+only self-invalidation refetches.
+"""
+
+from __future__ import annotations
+
+from ..trace.program import Program
+from .base import scaled, workload
+from .patterns import AddressSpace, TraceAssembler, strided_span
+
+
+@workload("stencil-ocean")
+def generate(
+    num_threads: int,
+    seed: int,
+    scale: float,
+    *,
+    phases: int = 6,
+    rows_per_thread: int = 16,
+    row_bytes: int = 256,
+    gap: int = 1,
+) -> Program:
+    rows_per_thread = scaled(rows_per_thread, scale, minimum=2)
+    space = AddressSpace()
+    # Double-buffered grid: even phases read buffer 0 / write buffer 1,
+    # odd phases the reverse, so halo reads never race with the
+    # neighbour's same-phase writes (the reason real stencils are
+    # conflict-free).  Thread blocks are line-aligned because row_bytes
+    # is a multiple of the line size.
+    block_bytes = rows_per_thread * row_bytes
+    grids = [space.alloc(num_threads * block_bytes) for _ in range(2)]
+
+    def block(buf: int, tid: int) -> int:
+        return grids[buf] + tid * block_bytes
+
+    traces = []
+    for tid in range(num_threads):
+        asm = TraceAssembler()
+        up = (tid - 1) % num_threads
+        down = (tid + 1) % num_threads
+        for phase in range(phases):
+            src, dst = phase % 2, 1 - phase % 2
+            if num_threads > 1:
+                # neighbours' boundary rows, written by them last phase
+                asm.reads(
+                    strided_span(
+                        block(src, up) + block_bytes - row_bytes, row_bytes // 8
+                    ),
+                    gap=gap,
+                )
+                asm.reads(strided_span(block(src, down), row_bytes // 8), gap=gap)
+            asm.reads(strided_span(block(src, tid), block_bytes // 8), gap=gap)
+            asm.writes(strided_span(block(dst, tid), block_bytes // 8), gap=gap)
+            asm.barrier(0)
+        traces.append(asm.build())
+    return Program(traces, name="stencil-ocean")

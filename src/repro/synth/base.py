@@ -1,0 +1,65 @@
+"""Workload generator registry.
+
+A *generator* is a function ``(num_threads, seed, scale, **params) ->
+Program``.  ``scale`` multiplies the workload's event counts so the same
+pattern can run as a quick test (scale ~0.1) or a full benchmark
+(scale 1.0+).  Generators register themselves with :func:`workload`,
+and :func:`generate` builds by name — the suite and the experiment
+harness are built on this registry.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+from ..common.errors import ConfigError
+from ..trace.program import Program
+
+
+class Generator(Protocol):
+    def __call__(
+        self, num_threads: int, seed: int, scale: float, **params
+    ) -> Program: ...
+
+
+_REGISTRY: dict[str, Generator] = {}
+
+
+def workload(name: str) -> Callable[[Generator], Generator]:
+    """Decorator registering a workload generator under ``name``."""
+
+    def register(fn: Generator) -> Generator:
+        if name in _REGISTRY:
+            raise ConfigError(f"workload {name!r} registered twice")
+        _REGISTRY[name] = fn
+        return fn
+
+    return register
+
+
+def registered_workloads() -> list[str]:
+    """Names of all registered generators, sorted."""
+    return sorted(_REGISTRY)
+
+
+def generate(
+    name: str, num_threads: int = 16, seed: int = 1, scale: float = 1.0, **params
+) -> Program:
+    """Build the named workload."""
+    fn = _REGISTRY.get(name)
+    if fn is None:
+        raise ConfigError(
+            f"unknown workload {name!r}; available: {registered_workloads()}"
+        )
+    if num_threads <= 0:
+        raise ConfigError("num_threads must be positive")
+    if scale <= 0:
+        raise ConfigError("scale must be positive")
+    program = fn(num_threads, seed, scale, **params)
+    program.name = name
+    return program
+
+
+def scaled(count: int, scale: float, minimum: int = 1) -> int:
+    """Scale an event count, keeping at least ``minimum``."""
+    return max(minimum, int(round(count * scale)))

@@ -1,0 +1,55 @@
+"""Data-parallel workload ("blackscholes-like").
+
+The pattern PARSEC's blackscholes/swaptions motivate: every thread reads
+a large *read-shared* input array and writes a disjoint, line-aligned
+partition of the output, with barriers between phases.  Sharing is
+read-only, so no invalidations, no conflicts — the best case for every
+protocol, and the case where conflict detection should be near-free.
+"""
+
+from __future__ import annotations
+
+from ..common.rng import make_rng
+from ..trace.program import Program
+from .base import scaled, workload
+from .patterns import AddressSpace, TraceAssembler, random_span, strided_span
+
+
+@workload("dataparallel-blackscholes")
+def generate(
+    num_threads: int,
+    seed: int,
+    scale: float,
+    *,
+    phases: int = 4,
+    reads_per_phase: int = 1200,
+    writes_per_phase: int = 400,
+    input_kb: int = 256,
+    gap: int = 2,
+) -> Program:
+    space = AddressSpace()
+    input_bytes = input_kb * 1024
+    input_base = space.alloc(input_bytes)
+    out_bytes = max(64, scaled(writes_per_phase, scale) * 8)
+    outputs = space.alloc_per_thread(num_threads, out_bytes * phases)
+    privates = space.alloc_per_thread(num_threads, 16 * 1024)
+
+    n_reads = scaled(reads_per_phase, scale)
+    n_writes = scaled(writes_per_phase, scale)
+
+    traces = []
+    for tid in range(num_threads):
+        rng = make_rng(seed, "dataparallel", tid)
+        asm = TraceAssembler()
+        for phase in range(phases):
+            asm.reads(random_span(rng, input_base, input_bytes, n_reads), gap=gap)
+            out_base = outputs[tid] + phase * out_bytes
+            asm.writes(strided_span(out_base, n_writes), gap=gap)
+            # a little private scratch traffic
+            asm.accesses(
+                random_span(rng, privates[tid], 16 * 1024, scaled(200, scale)),
+                rng.random(scaled(200, scale)) < 0.5,
+            )
+            asm.barrier(0)
+        traces.append(asm.build())
+    return Program(traces, name="dataparallel-blackscholes")

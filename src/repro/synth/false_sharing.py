@@ -1,0 +1,89 @@
+"""False sharing — disjoint bytes of the same lines.
+
+Each thread repeatedly writes its own *slot* inside a shared array's
+cache lines.  Byte ranges never overlap, so a byte-precise conflict
+detector must stay silent — this workload is the precision check for
+CE/CE+/ARC — yet under MESI-family coherence the lines ping-pong
+between every writer, producing the worst-case invalidation storm the
+paper's network-saturation discussion is about.  ARC's writers never
+invalidate each other, which is exactly where its traffic advantage
+peaks.
+
+Slot width adapts to the thread count (64B line / threads, clamped to
+1..8 bytes); above 64 threads the slots would vanish, so that is an
+error.
+"""
+
+from __future__ import annotations
+
+from ..common.errors import ConfigError
+from ..common.rng import make_rng
+from ..trace.program import Program
+from .base import scaled, workload
+from .patterns import AddressSpace, TraceAssembler, random_span
+
+#: private lock per thread used purely to bound region length
+_REGION_LOCK_BASE = 1000
+
+
+@workload("false-sharing")
+def generate(
+    num_threads: int,
+    seed: int,
+    scale: float,
+    *,
+    rounds: int = 150,
+    array_lines: int = 32,
+    region_rounds: int = 4,
+    private_ops: int = 8,
+    gap: int = 1,
+    bank_concentrate: bool = False,
+) -> Program:
+    """``bank_concentrate=True`` homes every shared line at LLC bank 0
+    (line stride = 64 * num_threads), concentrating all coherence traffic
+    on one tile's links — the configuration the network-saturation
+    experiment uses to push MESI-family protocols toward link saturation.
+    """
+    if num_threads > 64:
+        raise ConfigError("false-sharing supports at most 64 threads")
+    rounds = scaled(rounds, scale)
+    # Largest power-of-two slot that packs all threads into one 64B line
+    # (power-of-two keeps slots aligned and inside the line).
+    slot_size = 1
+    while slot_size * 2 * num_threads <= 64 and slot_size < 8:
+        slot_size *= 2
+    space = AddressSpace()
+    if bank_concentrate:
+        # Stride lines by the bank count (= thread count in the harness)
+        # so each used line's home is bank 0.
+        stride = 64 * num_threads
+        first = space.alloc(array_lines * stride, align=stride)
+        line_addrs = [first + i * stride for i in range(array_lines)]
+    else:
+        array_base = space.alloc_lines(array_lines)
+        line_addrs = [array_base + i * 64 for i in range(array_lines)]
+    privates = space.alloc_per_thread(num_threads, 16 * 1024)
+
+    traces = []
+    for tid in range(num_threads):
+        rng = make_rng(seed, "false-sharing", tid)
+        asm = TraceAssembler()
+        my_lock = _REGION_LOCK_BASE + tid
+        slot_offset = tid * slot_size
+        for round_idx in range(rounds):
+            # Bound region length with an uncontended private lock.
+            if round_idx % region_rounds == 0:
+                asm.acquire(my_lock)
+                asm.release(my_lock)
+            line = (round_idx * (tid + 1)) % array_lines
+            addr = line_addrs[line] + slot_offset
+            asm.read(addr, size=slot_size)
+            asm.write(addr, size=slot_size)
+            if private_ops:
+                asm.accesses(
+                    random_span(rng, privates[tid], 16 * 1024, private_ops),
+                    rng.random(private_ops) < 0.5,
+                    gap=gap,
+                )
+        traces.append(asm.build())
+    return Program(traces, name="false-sharing")

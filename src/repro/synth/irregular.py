@@ -1,0 +1,77 @@
+"""Irregular tree-structured sharing ("barnes-like").
+
+An N-body-style tree: the upper levels are read by every thread on
+every traversal (heavily read-shared), while leaves are updated under
+fine-grained per-leaf locks (mostly exclusive to a few threads).  This
+is the irregular pointer-chasing mix SPLASH-2's barnes/radiosity
+exhibit: wide read sharing plus scattered, lock-protected writes —
+a middle ground between the read-only data-parallel suite entries and
+the migratory lock workloads.
+"""
+
+from __future__ import annotations
+
+from ..common.rng import make_rng
+from ..trace.program import Program
+from .base import scaled, workload
+from .patterns import AddressSpace, TraceAssembler, random_span, strided_span
+
+#: lock id space for per-leaf locks (offset to avoid clashing with
+#: generators that use small lock ids)
+_LEAF_LOCK_BASE = 5000
+
+
+@workload("irregular-barnes")
+def generate(
+    num_threads: int,
+    seed: int,
+    scale: float,
+    *,
+    traversals: int = 150,
+    depth: int = 5,
+    fanout: int = 4,
+    node_words: int = 8,
+    leaf_update_words: int = 4,
+    private_ops: int = 12,
+    gap: int = 2,
+) -> Program:
+    traversals = scaled(traversals, scale)
+    space = AddressSpace()
+
+    # Lay the tree out level by level; node i at level d occupies
+    # node_words words.  Level sizes: 1, fanout, fanout^2, ...
+    levels: list[list[int]] = []
+    for d in range(depth):
+        count = fanout**d
+        base = space.alloc(count * node_words * 8)
+        levels.append([base + i * node_words * 8 for i in range(count)])
+    leaves = levels[-1]
+    privates = space.alloc_per_thread(num_threads, 32 * 1024)
+
+    traces = []
+    for tid in range(num_threads):
+        rng = make_rng(seed, "irregular", tid)
+        asm = TraceAssembler()
+        for _ in range(traversals):
+            # Walk root -> leaf, reading each node on the path.
+            index = 0
+            for d in range(depth):
+                node = levels[d][index % len(levels[d])]
+                asm.reads(strided_span(node, node_words), gap=gap)
+                index = index * fanout + int(rng.integers(0, fanout))
+            # Update the reached leaf under its lock.
+            leaf_index = index % len(leaves)
+            lock = _LEAF_LOCK_BASE + leaf_index
+            asm.acquire(lock)
+            span = strided_span(leaves[leaf_index], leaf_update_words)
+            asm.reads(span)
+            asm.writes(span)
+            asm.release(lock)
+            # Private bookkeeping between traversals.
+            asm.accesses(
+                random_span(rng, privates[tid], 32 * 1024, private_ops),
+                rng.random(private_ops) < 0.4,
+                gap=gap,
+            )
+        traces.append(asm.build())
+    return Program(traces, name="irregular-barnes")

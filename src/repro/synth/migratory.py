@@ -1,0 +1,52 @@
+"""Migratory sharing ("token-passing" blob).
+
+Threads take turns (serialized by a lock) reading and then rewriting an
+entire multi-line shared blob — the migratory pattern of SPLASH-2's
+radiosity/volrend task structures.  Under MESI every handoff is a chain
+of forwards (the whole blob moves M -> M between cores); under ARC each
+handoff is a self-downgrade flush plus LLC refetches.  Regions are
+longer than lock-counter's, so CE also begins to spill access bits when
+the blob and private traffic exceed L1 capacity.
+"""
+
+from __future__ import annotations
+
+from ..common.rng import make_rng
+from ..trace.program import Program
+from .base import scaled, workload
+from .patterns import AddressSpace, TraceAssembler, random_span, strided_span
+
+
+@workload("migratory-token")
+def generate(
+    num_threads: int,
+    seed: int,
+    scale: float,
+    *,
+    rounds: int = 120,
+    blob_lines: int = 16,
+    private_ops: int = 48,
+    gap: int = 1,
+) -> Program:
+    rounds = scaled(rounds, scale)
+    space = AddressSpace()
+    blob_words = strided_span(space.alloc_lines(blob_lines), blob_lines * 8)
+    privates = space.alloc_per_thread(num_threads, 64 * 1024)
+    lock = 0
+
+    traces = []
+    for tid in range(num_threads):
+        rng = make_rng(seed, "migratory", tid)
+        asm = TraceAssembler()
+        for _ in range(rounds):
+            asm.acquire(lock)
+            asm.reads(blob_words)
+            asm.writes(blob_words)
+            asm.release(lock)
+            asm.accesses(
+                random_span(rng, privates[tid], 64 * 1024, private_ops),
+                rng.random(private_ops) < 0.5,
+                gap=gap,
+            )
+        traces.append(asm.build())
+    return Program(traces, name="migratory-token")

@@ -1,0 +1,72 @@
+"""Lock-protected producer/consumer pipeline ("ferret/dedup-like").
+
+Half the threads produce items into a shared ring buffer, half consume
+them; buffer slots and the head/tail indices are protected by one lock.
+Regions are short (one queue operation), the queue lines migrate
+producer -> consumer constantly, and the hot index words ping-pong —
+the kind of communication-heavy workload where eager invalidation
+traffic piles up.
+"""
+
+from __future__ import annotations
+
+from ..common.rng import make_rng
+from ..trace.program import Program
+from .base import scaled, workload
+from .patterns import AddressSpace, TraceAssembler, random_span, strided_span
+
+
+@workload("pipeline-ferret")
+def generate(
+    num_threads: int,
+    seed: int,
+    scale: float,
+    *,
+    items_per_thread: int = 300,
+    slot_words: int = 8,
+    ring_slots: int = 64,
+    work_reads: int = 12,
+    gap: int = 2,
+) -> Program:
+    items = scaled(items_per_thread, scale)
+    space = AddressSpace()
+    head_addr = space.alloc_lines(1)
+    tail_addr = space.alloc_lines(1)
+    ring_base = space.alloc(ring_slots * slot_words * 8)
+    privates = space.alloc_per_thread(num_threads, 32 * 1024)
+    queue_lock = 0
+
+    producers = max(1, num_threads // 2)
+
+    traces = []
+    for tid in range(num_threads):
+        rng = make_rng(seed, "pipeline", tid)
+        asm = TraceAssembler()
+        is_producer = tid < producers
+        for item in range(items):
+            slot = (tid * items + item) % ring_slots
+            slot_addrs = strided_span(ring_base + slot * slot_words * 8, slot_words)
+            if is_producer:
+                # produce: private work creating the item, then enqueue
+                asm.reads(
+                    random_span(rng, privates[tid], 32 * 1024, work_reads), gap=gap
+                )
+                asm.acquire(queue_lock)
+                asm.read(head_addr)
+                asm.writes(slot_addrs)
+                asm.write(head_addr)
+                asm.release(queue_lock)
+            else:
+                # consume: dequeue, then private work on the item
+                asm.acquire(queue_lock)
+                asm.read(tail_addr)
+                asm.reads(slot_addrs)
+                asm.write(tail_addr)
+                asm.release(queue_lock)
+                asm.accesses(
+                    random_span(rng, privates[tid], 32 * 1024, work_reads),
+                    rng.random(work_reads) < 0.3,
+                    gap=gap,
+                )
+        traces.append(asm.build())
+    return Program(traces, name="pipeline-ferret")

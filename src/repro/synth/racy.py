@@ -1,0 +1,116 @@
+"""Racy workloads — programs with genuine region conflicts.
+
+These drive the conflicts-detected table: threads perform mostly
+well-structured private/lock-protected work, but with a configurable
+probability an iteration also touches one of a few *racy words* without
+synchronization.  Different threads' regions overlap freely, so
+overlapping-byte accesses (at least one a write) are true region
+conflicts that every conflict-detecting protocol must report and MESI
+silently allows.
+
+Two variants:
+
+* ``racy-writers`` — racy accesses are writes (W-W and W-R conflicts).
+* ``racy-readers`` — one thread writes the racy words, the others read
+  them (R-W conflicts only).
+"""
+
+from __future__ import annotations
+
+from ..common.rng import make_rng
+from ..trace.program import Program
+from .base import scaled, workload
+from .patterns import AddressSpace, TraceAssembler, random_span, strided_span
+
+_REGION_LOCK_BASE = 2000
+
+
+def _generate(
+    num_threads: int,
+    seed: int,
+    scale: float,
+    *,
+    writers_race: bool,
+    iterations: int,
+    racy_words: int,
+    race_period: int,
+    private_ops: int,
+) -> Program:
+    iters = scaled(iterations, scale)
+    space = AddressSpace()
+    racy_addrs = strided_span(space.alloc_lines((racy_words * 8 + 63) // 64), racy_words)
+    privates = space.alloc_per_thread(num_threads, 32 * 1024)
+
+    traces = []
+    for tid in range(num_threads):
+        rng = make_rng(seed, "racy", tid)
+        asm = TraceAssembler()
+        my_lock = _REGION_LOCK_BASE + tid
+        for it in range(iters):
+            # bound the region with an uncontended private lock
+            asm.acquire(my_lock)
+            asm.release(my_lock)
+            if it % race_period == 0:
+                # Every thread touches the same racy word in the same
+                # iteration: the loosely-synchronized regions overlap in
+                # time, so the conflict manifests robustly even at small
+                # scales and for eager (CE-style) detection windows.
+                word = (it // race_period) % racy_words
+                addr = int(racy_addrs[word])
+                if writers_race or tid == 0:
+                    asm.write(addr)
+                else:
+                    asm.read(addr)
+            asm.accesses(
+                random_span(rng, privates[tid], 32 * 1024, private_ops),
+                rng.random(private_ops) < 0.4,
+                gap=1,
+            )
+        traces.append(asm.build())
+    return Program(traces, name="racy")
+
+
+@workload("racy-writers")
+def racy_writers(
+    num_threads: int,
+    seed: int,
+    scale: float,
+    *,
+    iterations: int = 200,
+    racy_words: int = 4,
+    race_period: int = 6,
+    private_ops: int = 16,
+) -> Program:
+    return _generate(
+        num_threads,
+        seed,
+        scale,
+        writers_race=True,
+        iterations=iterations,
+        racy_words=racy_words,
+        race_period=race_period,
+        private_ops=private_ops,
+    )
+
+
+@workload("racy-readers")
+def racy_readers(
+    num_threads: int,
+    seed: int,
+    scale: float,
+    *,
+    iterations: int = 200,
+    racy_words: int = 4,
+    race_period: int = 6,
+    private_ops: int = 16,
+) -> Program:
+    return _generate(
+        num_threads,
+        seed,
+        scale,
+        writers_race=False,
+        iterations=iterations,
+        racy_words=racy_words,
+        race_period=race_period,
+        private_ops=private_ops,
+    )

@@ -1,0 +1,60 @@
+"""Read-mostly shared table with occasional locked writers.
+
+Most threads read random entries of a shared table inside short
+lock-protected regions; one designated writer thread periodically
+updates a batch of entries under the same lock.  Read-shared lines get
+invalidated in bursts on every writer episode — MESI-family pays an
+invalidation fan-out proportional to the reader count, while ARC's
+readers simply self-invalidate and refetch at their next region.
+"""
+
+from __future__ import annotations
+
+from ..common.rng import make_rng
+from ..trace.program import Program
+from .base import scaled, workload
+from .patterns import AddressSpace, TraceAssembler, random_span
+
+
+@workload("readers-writers")
+def generate(
+    num_threads: int,
+    seed: int,
+    scale: float,
+    *,
+    iterations: int = 250,
+    table_kb: int = 32,
+    reads_per_region: int = 16,
+    writer_batch: int = 12,
+    writer_period: int = 5,
+    private_ops: int = 16,
+    gap: int = 1,
+) -> Program:
+    iters = scaled(iterations, scale)
+    space = AddressSpace()
+    table_bytes = table_kb * 1024
+    table_base = space.alloc(table_bytes)
+    privates = space.alloc_per_thread(num_threads, 32 * 1024)
+    lock = 0
+
+    traces = []
+    for tid in range(num_threads):
+        rng = make_rng(seed, "readers-writers", tid)
+        asm = TraceAssembler()
+        is_writer = tid == 0 and num_threads > 1
+        for it in range(iters):
+            asm.acquire(lock)
+            if is_writer and it % writer_period == 0:
+                batch = random_span(rng, table_base, table_bytes, writer_batch)
+                asm.reads(batch)
+                asm.writes(batch)
+            else:
+                asm.reads(random_span(rng, table_base, table_bytes, reads_per_region))
+            asm.release(lock)
+            asm.accesses(
+                random_span(rng, privates[tid], 32 * 1024, private_ops),
+                rng.random(private_ops) < 0.3,
+                gap=gap,
+            )
+        traces.append(asm.build())
+    return Program(traces, name="readers-writers")

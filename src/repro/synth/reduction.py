@@ -1,0 +1,64 @@
+"""Hierarchical barrier-phased reduction ("fmm/radix-like").
+
+Each thread computes a private partial result, then a log-depth tree
+reduction combines them: at level *k*, thread *i* (with the low *k+1*
+bits zero) reads partner *i + 2^k*'s partial and accumulates into its
+own, with a barrier between levels.  The cross-thread traffic is
+write->read strictly ordered by barriers (conflict-free), the sharing
+partner changes every level, and the reduction lines are touched by
+progressively fewer cores — a sharing pattern none of the other suite
+entries exhibits.
+"""
+
+from __future__ import annotations
+
+from ..common.rng import make_rng
+from ..trace.program import Program
+from .base import scaled, workload
+from .patterns import AddressSpace, TraceAssembler, random_span, strided_span
+
+
+@workload("reduction-fmm")
+def generate(
+    num_threads: int,
+    seed: int,
+    scale: float,
+    *,
+    rounds: int = 12,
+    partial_words: int = 16,
+    compute_ops: int = 120,
+    gap: int = 3,
+) -> Program:
+    rounds = scaled(rounds, scale)
+    space = AddressSpace()
+    # one line-aligned partial-result block per thread
+    partial_bytes = max(64, partial_words * 8)
+    partials = space.alloc_per_thread(num_threads, partial_bytes)
+    inputs = space.alloc_per_thread(num_threads, 64 * 1024)
+
+    levels = max(1, (num_threads - 1).bit_length())
+
+    traces = []
+    for tid in range(num_threads):
+        rng = make_rng(seed, "reduction", tid)
+        asm = TraceAssembler()
+        my_partial = strided_span(partials[tid], partial_words)
+        for _round in range(rounds):
+            # local compute phase: read private input, write own partial
+            asm.accesses(
+                random_span(rng, inputs[tid], 64 * 1024, compute_ops),
+                rng.random(compute_ops) < 0.2,
+                gap=gap,
+            )
+            asm.writes(my_partial)
+            asm.barrier(0)
+            # tree reduction: level k combines partner i + 2^k into i
+            for level in range(levels):
+                stride = 1 << level
+                if tid % (stride * 2) == 0 and tid + stride < num_threads:
+                    partner = strided_span(partials[tid + stride], partial_words)
+                    asm.reads(partner, gap=gap)
+                    asm.writes(my_partial)
+                asm.barrier(0)
+        traces.append(asm.build())
+    return Program(traces, name="reduction-fmm")

@@ -1,0 +1,61 @@
+"""Dynamic task queue ("swaptions-like").
+
+Threads repeatedly pop a task index from a lock-protected shared queue
+head, read the task's slice of a read-shared input array, "compute"
+(gap cycles), and write the result to a task-indexed slot of a shared
+output array.  Output slots are disjoint lines, so there are no
+conflicts; the hot queue-head word migrates under the lock while the
+bulk traffic is read-shared input plus write-once output — a mix that
+exercises both private-friendly and migratory paths.
+"""
+
+from __future__ import annotations
+
+from ..common.rng import make_rng
+from ..trace.program import Program
+from .base import scaled, workload
+from .patterns import AddressSpace, TraceAssembler, random_span, strided_span
+
+
+@workload("taskqueue-swaptions")
+def generate(
+    num_threads: int,
+    seed: int,
+    scale: float,
+    *,
+    tasks_per_thread: int = 200,
+    input_kb: int = 128,
+    reads_per_task: int = 20,
+    output_words: int = 8,
+    compute_gap: int = 30,
+) -> Program:
+    tasks = scaled(tasks_per_thread, scale)
+    space = AddressSpace()
+    head_addr = space.alloc_lines(1)
+    input_bytes = input_kb * 1024
+    input_base = space.alloc(input_bytes)
+    # one line-aligned output slot per (thread, task): disjoint writes
+    total_tasks = num_threads * tasks
+    output_base = space.alloc_lines(total_tasks)
+    lock = 0
+
+    traces = []
+    for tid in range(num_threads):
+        rng = make_rng(seed, "taskqueue", tid)
+        asm = TraceAssembler()
+        for task in range(tasks):
+            asm.acquire(lock)
+            asm.read(head_addr)
+            asm.write(head_addr)
+            asm.release(lock)
+            task_id = tid * tasks + task
+            asm.reads(
+                random_span(rng, input_base, input_bytes, reads_per_task),
+                gap=1,
+            )
+            asm.writes(
+                strided_span(output_base + task_id * 64, output_words),
+                gap=compute_gap if task % 8 == 0 else 1,
+            )
+        traces.append(asm.build())
+    return Program(traces, name="taskqueue-swaptions")

@@ -1,0 +1,1 @@
+"""Command-line utilities: workload inspection and trace dumping."""

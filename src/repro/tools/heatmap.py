@@ -1,0 +1,134 @@
+"""NoC link heatmap: visualize where traffic concentrates on the mesh.
+
+Runs one workload under one protocol while sampling per-link flit
+counts, then draws the mesh as ASCII art with each link shaded by its
+total traffic — making hotspots (like the bank-0 concentration in the
+network-saturation experiment) visible at a glance.
+
+Usage::
+
+    python -m repro.tools.heatmap false-sharing --protocol ce+ --threads 16
+    python -m repro.tools.heatmap lock-counter --protocol arc
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from ..common.config import SystemConfig
+from ..core.simulator import Simulator
+from ..noc.network import MeshNetwork
+from ..noc.topology import MeshTopology
+from .inspect import load_target, parse_params
+
+#: shading ramp, light to heavy
+_SHADES = " .:-=+*#%@"
+
+
+class _CountingNetwork(MeshNetwork):
+    """MeshNetwork that additionally accumulates lifetime per-link flits."""
+
+    def __init__(self, topology: MeshTopology, cfg):
+        super().__init__(topology, cfg)
+        self.lifetime_link_flits = np.zeros(topology.num_links)
+
+    def send(self, src, dst, payload_bytes, category, cycle):
+        if src != dst:
+            from ..noc.messages import flits_for_payload
+
+            flits = flits_for_payload(payload_bytes, self.cfg.flit_bytes)
+            for link in self.topology.route(src, dst):
+                self.lifetime_link_flits[link] += flits
+        return super().send(src, dst, payload_bytes, category, cycle)
+
+
+def shade(value: float, peak: float) -> str:
+    if peak <= 0:
+        return _SHADES[0]
+    index = min(int(value / peak * (len(_SHADES) - 1)), len(_SHADES) - 1)
+    return _SHADES[index]
+
+
+def render_heatmap(topology: MeshTopology, link_flits: np.ndarray) -> str:
+    """Draw the mesh: tiles as [id], links shaded by traffic.
+
+    Horizontal/vertical neighbours' two directed links are combined.
+    """
+    peak = float(link_flits.max()) if len(link_flits) else 0.0
+
+    def combined(a: int, b: int) -> float:
+        total = 0.0
+        for src, dst in ((a, b), (b, a)):
+            route = topology.route(src, dst)
+            if len(route) == 1:
+                total += float(link_flits[route[0]])
+        return total
+
+    lines = []
+    width, height = topology.width, topology.height
+    for y in range(height):
+        row = []
+        for x in range(width):
+            tile = y * width + x
+            row.append(f"[{tile:2d}]")
+            if x + 1 < width:
+                row.append(shade(combined(tile, tile + 1), peak) * 3)
+        lines.append("".join(row))
+        if y + 1 < height:
+            vertical = []
+            for x in range(width):
+                tile = y * width + x
+                vertical.append(
+                    " " + shade(combined(tile, tile + width), peak) + "  "
+                )
+                if x + 1 < width:
+                    vertical.append("   ")
+            lines.append("".join(vertical))
+    legend = f"shade ramp '{_SHADES}' spans 0 .. {peak:,.0f} flits/link"
+    return "\n".join(lines + [legend])
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.tools.heatmap")
+    parser.add_argument("target", help="workload name or .npz trace path")
+    parser.add_argument(
+        "--protocol", choices=("mesi", "ce", "ce+", "arc"), default="mesi"
+    )
+    parser.add_argument("--threads", type=int, default=16)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--scale", type=float, default=0.2)
+    parser.add_argument(
+        "--param", action="append", metavar="KEY=VALUE",
+        help="workload generator parameter (repeatable)",
+    )
+    args = parser.parse_args(argv)
+
+    program = load_target(
+        args.target, args.threads, args.seed, args.scale,
+        **parse_params(args.param),
+    )
+    cfg = SystemConfig(
+        num_cores=max(2, program.num_threads), protocol=args.protocol
+    )
+    sim = Simulator(cfg, program)
+    # swap in the counting network before any traffic flows
+    counting = _CountingNetwork(sim.machine.topology, cfg.noc)
+    sim.machine.net = counting
+    sim.protocol.machine = sim.machine
+    result = sim.run()
+
+    print(
+        f"{program.name} under {args.protocol}: {result.flit_hops:,} flit-hops "
+        f"in {result.cycles:,} cycles on a "
+        f"{cfg.mesh_width}x{cfg.mesh_height} mesh"
+    )
+    print()
+    print(render_heatmap(sim.machine.topology, counting.lifetime_link_flits))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,160 @@
+"""Workload inspector.
+
+Prints a workload's Table II-style characteristics, a region-length
+histogram, per-thread summaries, and the sharing profile — handy when
+designing new generators or diagnosing why a protocol behaves the way
+it does on a workload.
+
+Usage::
+
+    python -m repro.tools.inspect lock-counter --threads 8 --scale 0.5
+    python -m repro.tools.inspect path/to/trace.npz
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from ..harness.tables import TextTable
+from ..synth.base import generate, registered_workloads
+from ..trace.io import load_program
+from ..trace.program import Program
+from ..trace.regions import region_lengths
+from ..trace.validate import validate_program
+
+HIST_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+
+
+def parse_params(items: list[str] | None) -> dict:
+    """Parse repeated ``key=value`` workload parameters (int/float/bool
+    coercion, falling back to string)."""
+    params: dict = {}
+    for item in items or []:
+        key, _, raw = item.partition("=")
+        if not key or not raw:
+            raise SystemExit(f"bad --param {item!r}, expected key=value")
+        value: object
+        if raw.lower() in ("true", "false"):
+            value = raw.lower() == "true"
+        else:
+            try:
+                value = int(raw)
+            except ValueError:
+                try:
+                    value = float(raw)
+                except ValueError:
+                    value = raw
+        params[key] = value
+    return params
+
+
+def load_target(
+    target: str, num_threads: int, seed: int, scale: float, **params
+) -> Program:
+    """Load an .npz trace file or build a registered workload by name."""
+    path = Path(target)
+    if path.suffix == ".npz" and path.exists():
+        return load_program(path)
+    return generate(
+        target, num_threads=num_threads, seed=seed, scale=scale, **params
+    )
+
+
+def characteristics_table(program: Program, line_size: int = 64) -> TextTable:
+    stats = program.stats(line_size)
+    table = TextTable(f"Workload: {program.name}", ["characteristic", "value"])
+    table.add_row("threads", stats.num_threads)
+    table.add_row("events", stats.num_events)
+    table.add_row("accesses", stats.num_accesses)
+    table.add_row("writes", stats.num_writes)
+    table.add_row("write fraction", stats.write_fraction)
+    table.add_row("sync ops", stats.num_sync_ops)
+    table.add_row("regions", stats.num_regions)
+    table.add_row("mean region length", stats.mean_region_length)
+    table.add_row("distinct lines", stats.num_lines)
+    table.add_row("shared lines", stats.shared_lines)
+    table.add_row("shared fraction", stats.shared_fraction)
+    return table
+
+
+def region_histogram(program: Program) -> TextTable:
+    """Histogram of region lengths (accesses per region) across threads."""
+    lengths = np.concatenate(
+        [region_lengths(trace) for trace in program.traces]
+        or [np.zeros(0, dtype=np.int64)]
+    )
+    table = TextTable("Region length histogram", ["bucket", "regions", "share"])
+    if len(lengths) == 0:
+        return table
+    previous = 0
+    total = len(lengths)
+    for bucket in HIST_BUCKETS:
+        count = int(np.count_nonzero((lengths >= previous) & (lengths < bucket)))
+        if count:
+            table.add_row(f"[{previous}, {bucket})", count, count / total)
+        previous = bucket
+    count = int(np.count_nonzero(lengths >= previous))
+    if count:
+        table.add_row(f">= {previous}", count, count / total)
+    return table
+
+
+def per_thread_table(program: Program) -> TextTable:
+    table = TextTable(
+        "Per-thread profile",
+        ["thread", "events", "accesses", "writes", "sync ops", "regions"],
+    )
+    for tid, trace in enumerate(program.traces):
+        table.add_row(
+            tid,
+            len(trace),
+            trace.num_accesses(),
+            trace.num_writes(),
+            trace.num_sync_ops(),
+            trace.num_regions(),
+        )
+    return table
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.tools.inspect")
+    parser.add_argument(
+        "target", nargs="?", help="workload name or .npz trace path"
+    )
+    parser.add_argument("--list", action="store_true", help="list workloads")
+    parser.add_argument("--threads", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--scale", type=float, default=0.2)
+    parser.add_argument("--line-size", type=int, default=64)
+    parser.add_argument(
+        "--param", action="append", metavar="KEY=VALUE",
+        help="workload generator parameter (repeatable)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list or not args.target:
+        for name in registered_workloads():
+            print(name)
+        return 0
+
+    program = load_target(
+        args.target, args.threads, args.seed, args.scale,
+        **parse_params(args.param),
+    )
+    validate_program(program, args.line_size)
+    for table in (
+        characteristics_table(program, args.line_size),
+        region_histogram(program),
+        per_thread_table(program),
+    ):
+        print(table.render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,76 @@
+"""Trace dumper: print a window of a thread's events in human form.
+
+Usage::
+
+    python -m repro.tools.trace_dump lock-counter --thread 0 --limit 30
+    python -m repro.tools.trace_dump saved.npz --thread 2 --offset 100
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..trace.events import ACQUIRE, BARRIER, KIND_NAMES, RELEASE
+from ..trace.regions import region_ids
+from .inspect import load_target, parse_params
+
+
+def format_event(index, region, kind, addr, size, sync_id, gap) -> str:
+    name = KIND_NAMES[kind]
+    if kind in (ACQUIRE, RELEASE, BARRIER):
+        detail = f"sync_id={sync_id}"
+    else:
+        detail = f"addr={addr:#x} size={size}"
+    gap_part = f" gap={gap}" if gap else ""
+    return f"{index:8d}  r{region:<6d} {name:8s} {detail}{gap_part}"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.tools.trace_dump")
+    parser.add_argument("target", help="workload name or .npz trace path")
+    parser.add_argument("--thread", type=int, default=0)
+    parser.add_argument("--offset", type=int, default=0)
+    parser.add_argument("--limit", type=int, default=40)
+    parser.add_argument("--threads", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--scale", type=float, default=0.2)
+    parser.add_argument(
+        "--param", action="append", metavar="KEY=VALUE",
+        help="workload generator parameter (repeatable)",
+    )
+    args = parser.parse_args(argv)
+
+    program = load_target(
+        args.target, args.threads, args.seed, args.scale,
+        **parse_params(args.param),
+    )
+    if not 0 <= args.thread < program.num_threads:
+        parser.error(
+            f"thread {args.thread} out of range (program has "
+            f"{program.num_threads} threads)"
+        )
+    trace = program.traces[args.thread]
+    regions = region_ids(trace)
+    end = min(len(trace), args.offset + args.limit)
+    print(
+        f"{program.name} thread {args.thread}: events "
+        f"[{args.offset}, {end}) of {len(trace)}"
+    )
+    for i in range(args.offset, end):
+        print(
+            format_event(
+                i,
+                int(regions[i]),
+                int(trace.kinds[i]),
+                int(trace.addrs[i]),
+                int(trace.sizes[i]),
+                int(trace.sync_ids[i]),
+                int(trace.gaps[i]),
+            )
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

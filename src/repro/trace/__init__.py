@@ -1,0 +1,39 @@
+"""Trace substrate: events, builders, programs, SFR analysis, validation, IO."""
+
+from .builder import TraceBuilder
+from .events import (
+    ACQUIRE,
+    BARRIER,
+    EVENT_DTYPE,
+    KIND_NAMES,
+    READ,
+    RELEASE,
+    WRITE,
+    ThreadTrace,
+)
+from .io import load_program, save_program
+from .program import Program, ProgramStats
+from .regions import RegionSummary, region_ids, region_lengths, summarize_regions
+from .validate import validate_program, validate_trace
+
+__all__ = [
+    "ACQUIRE",
+    "BARRIER",
+    "EVENT_DTYPE",
+    "KIND_NAMES",
+    "Program",
+    "ProgramStats",
+    "READ",
+    "RELEASE",
+    "RegionSummary",
+    "ThreadTrace",
+    "TraceBuilder",
+    "WRITE",
+    "load_program",
+    "region_ids",
+    "region_lengths",
+    "save_program",
+    "summarize_regions",
+    "validate_program",
+    "validate_trace",
+]

@@ -1,0 +1,151 @@
+"""Imperative construction of per-thread traces.
+
+:class:`TraceBuilder` is the convenient way to write small traces by hand
+(tests, examples); workload generators use the vectorized
+:meth:`repro.trace.events.ThreadTrace.from_arrays` path instead.
+
+The builder enforces basic well-formedness as events are appended:
+access sizes in 1..8 bytes, accesses split so they never straddle a cache
+line, releases only of locks currently held.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..common.errors import TraceError
+from .events import (
+    ACQUIRE,
+    BARRIER,
+    EVENT_DTYPE,
+    MAX_ACCESS_SIZE,
+    READ,
+    RELEASE,
+    WRITE,
+    ThreadTrace,
+)
+
+
+class TraceBuilder:
+    """Builds one thread's trace event by event.
+
+    Parameters
+    ----------
+    line_size:
+        Cache-line size used to split straddling accesses.
+    """
+
+    def __init__(self, line_size: int = 64):
+        if line_size <= 0:
+            raise TraceError("line size must be positive")
+        self.line_size = line_size
+        self._kinds: list[int] = []
+        self._addrs: list[int] = []
+        self._sizes: list[int] = []
+        self._sync_ids: list[int] = []
+        self._gaps: list[int] = []
+        self._held_locks: list[int] = []
+
+    def __len__(self) -> int:
+        return len(self._kinds)
+
+    @property
+    def held_locks(self) -> tuple[int, ...]:
+        """Locks currently held (innermost last)."""
+        return tuple(self._held_locks)
+
+    # -- event appenders ---------------------------------------------------
+
+    def _append(self, kind: int, addr: int, size: int, sync_id: int, gap: int) -> None:
+        if gap < 0 or gap > np.iinfo(np.uint16).max:
+            raise TraceError(f"gap {gap} out of range")
+        self._kinds.append(kind)
+        self._addrs.append(addr)
+        self._sizes.append(size)
+        self._sync_ids.append(sync_id)
+        self._gaps.append(gap)
+
+    def _access(self, kind: int, addr: int, size: int, gap: int) -> "TraceBuilder":
+        if addr < 0:
+            raise TraceError(f"negative address {addr:#x}")
+        if not 1 <= size <= MAX_ACCESS_SIZE:
+            raise TraceError(f"access size must be 1..{MAX_ACCESS_SIZE}, got {size}")
+        # Split accesses that straddle a line boundary; only the first
+        # piece pays the compute gap.
+        first = True
+        while size > 0:
+            line_end = (addr // self.line_size + 1) * self.line_size
+            piece = min(size, line_end - addr)
+            self._append(kind, addr, piece, -1, gap if first else 0)
+            addr += piece
+            size -= piece
+            first = False
+        return self
+
+    def read(self, addr: int, size: int = 8, gap: int = 0) -> "TraceBuilder":
+        """Append a load of ``size`` bytes at ``addr``."""
+        return self._access(READ, addr, size, gap)
+
+    def write(self, addr: int, size: int = 8, gap: int = 0) -> "TraceBuilder":
+        """Append a store of ``size`` bytes at ``addr``."""
+        return self._access(WRITE, addr, size, gap)
+
+    def acquire(self, lock_id: int, gap: int = 0) -> "TraceBuilder":
+        """Append a lock acquire (region boundary)."""
+        if lock_id < 0:
+            raise TraceError("lock ids must be non-negative")
+        self._append(ACQUIRE, 0, 0, lock_id, gap)
+        self._held_locks.append(lock_id)
+        return self
+
+    def release(self, lock_id: int, gap: int = 0) -> "TraceBuilder":
+        """Append a lock release; the lock must currently be held."""
+        if lock_id not in self._held_locks:
+            raise TraceError(f"release of lock {lock_id} that is not held")
+        self._held_locks.remove(lock_id)
+        self._append(RELEASE, 0, 0, lock_id, gap)
+        return self
+
+    def barrier(self, barrier_id: int, gap: int = 0) -> "TraceBuilder":
+        """Append a barrier arrival (region boundary)."""
+        if barrier_id < 0:
+            raise TraceError("barrier ids must be non-negative")
+        if self._held_locks:
+            raise TraceError(
+                f"barrier while holding locks {self._held_locks} would deadlock"
+            )
+        self._append(BARRIER, 0, 0, barrier_id, gap)
+        return self
+
+    def critical_section(
+        self, lock_id: int, accesses: list[tuple[str, int, int]], gap: int = 0
+    ) -> "TraceBuilder":
+        """Convenience: acquire, perform ``(op, addr, size)`` accesses, release."""
+        self.acquire(lock_id, gap=gap)
+        for op, addr, size in accesses:
+            if op == "r":
+                self.read(addr, size)
+            elif op == "w":
+                self.write(addr, size)
+            else:
+                raise TraceError(f"unknown op {op!r} (use 'r' or 'w')")
+        return self.release(lock_id)
+
+    # -- finalization --------------------------------------------------------
+
+    def build(self) -> ThreadTrace:
+        """Finalize into an immutable :class:`ThreadTrace`.
+
+        Raises if any lock is still held — such a trace would deadlock
+        every other thread contending for the lock.
+        """
+        if self._held_locks:
+            raise TraceError(f"trace ends holding locks {self._held_locks}")
+        n = len(self._kinds)
+        events = np.empty(n, dtype=EVENT_DTYPE)
+        events["kind"] = self._kinds
+        events["addr"] = self._addrs
+        events["size"] = self._sizes
+        events["sync_id"] = self._sync_ids
+        events["gap"] = self._gaps
+        return ThreadTrace(events)

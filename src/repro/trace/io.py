@@ -1,0 +1,67 @@
+"""Trace (de)serialization.
+
+Programs round-trip through NumPy ``.npz`` archives: one structured array
+per thread plus a small JSON metadata blob.  This lets long workloads be
+generated once and replayed across protocol runs or shared between
+machines.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..common.errors import TraceError
+from .events import EVENT_DTYPE, ThreadTrace
+from .program import Program
+
+_FORMAT_VERSION = 1
+
+
+def save_program(program: Program, path: str | Path) -> None:
+    """Write ``program`` to ``path`` as a compressed ``.npz`` archive."""
+    path = Path(path)
+    meta = {
+        "version": _FORMAT_VERSION,
+        "name": program.name,
+        "num_threads": program.num_threads,
+        "barriers": {
+            str(bid): sorted(tids)
+            for bid, tids in program.barrier_participants.items()
+        },
+    }
+    arrays = {
+        f"thread_{tid}": trace.events for tid, trace in enumerate(program.traces)
+    }
+    arrays["meta"] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    ).copy()
+    np.savez_compressed(path, **arrays)
+
+
+def load_program(path: str | Path) -> Program:
+    """Load a program previously written by :func:`save_program`."""
+    path = Path(path)
+    with np.load(path) as archive:
+        if "meta" not in archive:
+            raise TraceError(f"{path}: not a repro trace archive (no meta)")
+        meta = json.loads(bytes(archive["meta"]).decode("utf-8"))
+        if meta.get("version") != _FORMAT_VERSION:
+            raise TraceError(
+                f"{path}: unsupported trace format version {meta.get('version')}"
+            )
+        traces = []
+        for tid in range(meta["num_threads"]):
+            key = f"thread_{tid}"
+            if key not in archive:
+                raise TraceError(f"{path}: missing {key}")
+            events = archive[key]
+            if events.dtype != EVENT_DTYPE:
+                raise TraceError(f"{path}: {key} has dtype {events.dtype}")
+            traces.append(ThreadTrace(events.copy()))
+    barriers = {
+        int(bid): frozenset(tids) for bid, tids in meta.get("barriers", {}).items()
+    }
+    return Program(traces=traces, name=meta["name"], barrier_participants=barriers)

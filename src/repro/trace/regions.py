@@ -1,0 +1,83 @@
+"""Synchronization-free region (SFR) analysis.
+
+A thread's trace is partitioned into SFRs by its synchronization events:
+every ACQUIRE/RELEASE/BARRIER ends the current region and begins the
+next.  Region indices are the basis of conflict semantics — two accesses
+conflict only if their *regions* overlap in time — and of the
+region-length statistics in Table II and the region-length sensitivity
+figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .events import ACQUIRE, ThreadTrace
+
+
+def region_ids(trace: ThreadTrace) -> np.ndarray:
+    """Region index of each event in the trace.
+
+    The sync event itself is counted in the *new* region it begins (the
+    acquire/barrier is the first action of the region it opens; a release
+    likewise opens the following region).  Data accesses between two sync
+    ops share one region index.
+
+    >>> from repro.trace.builder import TraceBuilder
+    >>> t = (TraceBuilder().read(0).acquire(1).write(8).release(1).read(16)
+    ...      .build())
+    >>> region_ids(t).tolist()
+    [0, 1, 1, 2, 2]
+    """
+    is_sync = trace.kinds >= ACQUIRE
+    # region index = number of sync events at-or-before this event
+    return np.cumsum(is_sync).astype(np.int64)
+
+
+@dataclass(frozen=True)
+class RegionSummary:
+    """Per-region statistics for one thread."""
+
+    thread: int
+    region: int
+    num_accesses: int
+    num_writes: int
+    distinct_lines: int
+
+
+def summarize_regions(trace: ThreadTrace, thread: int, line_size: int) -> list[RegionSummary]:
+    """Summaries of every region in a thread's trace."""
+    rids = region_ids(trace)
+    out: list[RegionSummary] = []
+    if len(trace) == 0:
+        return out
+    kinds = trace.kinds
+    addrs = trace.addrs
+    for region in range(int(rids.max()) + 1):
+        sel = rids == region
+        access_sel = sel & (kinds <= 1)
+        n_acc = int(np.count_nonzero(access_sel))
+        n_wr = int(np.count_nonzero(sel & (kinds == 1)))
+        lines = np.unique(addrs[access_sel] // line_size)
+        out.append(
+            RegionSummary(
+                thread=thread,
+                region=region,
+                num_accesses=n_acc,
+                num_writes=n_wr,
+                distinct_lines=len(lines),
+            )
+        )
+    return out
+
+
+def region_lengths(trace: ThreadTrace) -> np.ndarray:
+    """Number of data accesses in each region of the trace."""
+    if len(trace) == 0:
+        return np.zeros(0, dtype=np.int64)
+    rids = region_ids(trace)
+    is_access = trace.kinds <= 1
+    num_regions = int(rids.max()) + 1
+    return np.bincount(rids[is_access], minlength=num_regions).astype(np.int64)

@@ -1,0 +1,101 @@
+"""Trace and program validation.
+
+Generated traces feed a long-running simulation, so malformed input is
+cheaper to reject up front than to debug mid-run.  :func:`validate_program`
+checks:
+
+* event kinds are known and access sizes are in 1..8 bytes;
+* no access straddles a cache-line boundary;
+* sync events carry non-negative sync ids, data accesses carry ``-1``;
+* per thread, every RELEASE releases a lock that is currently held and
+  no locks are held at trace end;
+* no barrier while holding a lock (guaranteed deadlock);
+* every barrier id is used the *same number of times* by each of its
+  participating threads (otherwise some episode never forms).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..common.errors import TraceError
+from .events import ACQUIRE, BARRIER, KIND_NAMES, MAX_ACCESS_SIZE, READ, RELEASE, WRITE
+from .program import Program
+
+
+def validate_trace(trace, line_size: int, thread: int = -1) -> None:
+    """Validate one thread's trace; raises :class:`TraceError` on problems."""
+    tag = f"thread {thread}" if thread >= 0 else "trace"
+    kinds = trace.kinds
+    if len(kinds) == 0:
+        return
+    unknown = set(np.unique(kinds)) - set(KIND_NAMES)
+    if unknown:
+        raise TraceError(f"{tag}: unknown event kinds {sorted(unknown)}")
+
+    is_access = kinds <= WRITE
+    sizes = trace.sizes[is_access].astype(np.int64)
+    if len(sizes):
+        if sizes.min() < 1 or sizes.max() > MAX_ACCESS_SIZE:
+            raise TraceError(
+                f"{tag}: access sizes must be 1..{MAX_ACCESS_SIZE}, "
+                f"found range [{sizes.min()}, {sizes.max()}]"
+            )
+        addrs = trace.addrs[is_access].astype(np.int64)
+        if np.any((addrs % line_size) + sizes > line_size):
+            bad = int(np.argmax((addrs % line_size) + sizes > line_size))
+            raise TraceError(
+                f"{tag}: access at {addrs[bad]:#x} size {sizes[bad]} "
+                f"straddles a {line_size}B line"
+            )
+
+    is_sync = kinds >= ACQUIRE
+    sync_ids = trace.sync_ids
+    if np.any(sync_ids[is_sync] < 0):
+        raise TraceError(f"{tag}: sync event with negative sync id")
+    if np.any(sync_ids[~is_sync] != -1):
+        raise TraceError(f"{tag}: data access with a sync id (expected -1)")
+
+    # Lock discipline (python loop over sync events only — rare).
+    held: list[int] = []
+    sync_kinds = kinds[is_sync]
+    ids = sync_ids[is_sync]
+    for kind, sid in zip(sync_kinds.tolist(), ids.tolist()):
+        if kind == ACQUIRE:
+            held.append(sid)
+        elif kind == RELEASE:
+            if sid not in held:
+                raise TraceError(f"{tag}: release of lock {sid} that is not held")
+            held.remove(sid)
+        elif kind == BARRIER and held:
+            raise TraceError(
+                f"{tag}: barrier {sid} reached while holding locks {held}"
+            )
+    if held:
+        raise TraceError(f"{tag}: trace ends holding locks {held}")
+
+
+def validate_program(program: Program, line_size: int = 64) -> None:
+    """Validate every thread plus cross-thread barrier consistency."""
+    for tid, trace in enumerate(program.traces):
+        validate_trace(trace, line_size, thread=tid)
+
+    # Barrier episode counts must agree across participants.
+    barrier_counts: dict[int, dict[int, int]] = {}
+    for tid, trace in enumerate(program.traces):
+        mask = trace.kinds == BARRIER
+        ids, counts = np.unique(trace.sync_ids[mask], return_counts=True)
+        for bid, count in zip(ids.tolist(), counts.tolist()):
+            barrier_counts.setdefault(bid, {})[tid] = count
+    for bid, per_thread in barrier_counts.items():
+        counts = set(per_thread.values())
+        if len(counts) > 1:
+            raise TraceError(
+                f"barrier {bid}: unequal episode counts across threads: {per_thread}"
+            )
+        participants = program.barrier_participants.get(bid, frozenset())
+        if set(per_thread) != set(participants):
+            raise TraceError(
+                f"barrier {bid}: participants {sorted(participants)} do not "
+                f"match threads using it {sorted(per_thread)}"
+            )

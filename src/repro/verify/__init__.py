@@ -1,0 +1,29 @@
+"""Verification harness: schedule recording + ground-truth conflict oracles."""
+
+from .inject import inject_race, injected_line
+from .oracle import (
+    ConflictKey,
+    OracleConflict,
+    ce_conflicts,
+    detected_keys,
+    overlap_conflicts,
+)
+from .recorder import RecordedAccess, RegionInterval, ScheduleRecorder
+from .summary import LineSummary, kind_mix, summarize, summary_table
+
+__all__ = [
+    "ConflictKey",
+    "OracleConflict",
+    "RecordedAccess",
+    "RegionInterval",
+    "LineSummary",
+    "ScheduleRecorder",
+    "ce_conflicts",
+    "detected_keys",
+    "inject_race",
+    "injected_line",
+    "kind_mix",
+    "overlap_conflicts",
+    "summarize",
+    "summary_table",
+]

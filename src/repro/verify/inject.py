@@ -1,0 +1,99 @@
+"""Race injection — metamorphic testing for the conflict detectors.
+
+Take any well-synchronized program, surgically plant one race, and the
+detectors must go from silent to reporting a conflict on exactly the
+planted line.  This turns the whole workload suite into detector test
+vectors:
+
+* :func:`inject_race` appends, to two chosen threads, a write (and a
+  read or write) to a fresh line *outside* any lock, padded with
+  compute gaps so the two racing regions overlap in time regardless of
+  how the schedule drifts.
+* :func:`injected_line` returns the planted line address so tests can
+  assert the reports point at it and nothing else.
+
+The injection appends at the *end* of the traces (after all existing
+synchronization), which keeps the original program's validity — locks
+stay balanced, barrier counts are untouched — and means the racing
+accesses sit in the threads' final regions, which never end and
+therefore always overlap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..common.errors import TraceError
+from ..trace.events import EVENT_DTYPE, READ, WRITE, ThreadTrace
+from ..trace.program import Program
+
+#: bytes per line assumed for placing the racy word (library default)
+_LINE = 64
+
+
+def injected_line(program: Program) -> int:
+    """The line address :func:`inject_race` plants its race on: the
+    first line past every address the program touches."""
+    top = 0
+    for trace in program.traces:
+        if len(trace):
+            accessed = trace.addrs[trace.kinds <= WRITE]
+            if len(accessed):
+                top = max(top, int(accessed.max()))
+    return (top // _LINE + 2) * _LINE
+
+
+def _append_events(trace: ThreadTrace, rows: list[tuple]) -> ThreadTrace:
+    extra = np.zeros(len(rows), dtype=EVENT_DTYPE)
+    for i, row in enumerate(rows):
+        extra[i] = row
+    return ThreadTrace(np.concatenate([trace.events, extra]))
+
+
+def inject_race(
+    program: Program,
+    *,
+    first_thread: int = 0,
+    second_thread: int = 1,
+    second_is_write: bool = True,
+    pad_gap: int = 2000,
+) -> Program:
+    """Return a copy of ``program`` with one planted race.
+
+    ``first_thread`` writes the planted word, then spins on private
+    reads for a long time (``pad_gap`` cycles each) so its final region
+    is still running when ``second_thread`` — whose access is delayed by
+    one padded read — touches the same word.  At least one of the two
+    accesses is a write, so the pair is a genuine region conflict.
+    """
+    if first_thread == second_thread:
+        raise TraceError("race needs two distinct threads")
+    for tid in (first_thread, second_thread):
+        if not 0 <= tid < program.num_threads:
+            raise TraceError(f"thread {tid} out of range")
+
+    line = injected_line(program)
+    pad_base = line + _LINE  # private padding area, disjoint per thread
+
+    traces = list(program.traces)
+    # Writer: racy write, then a long tail of padded private reads that
+    # keeps its final region open.
+    writer_rows = [(WRITE, line, 8, -1, 0)]
+    for i in range(8):
+        writer_rows.append((READ, pad_base + i * 8, 8, -1, pad_gap))
+    traces[first_thread] = _append_events(traces[first_thread], writer_rows)
+
+    # Second thread: one padded private read (so its racy access lands
+    # inside the writer's tail), then the conflicting access.
+    second_kind = WRITE if second_is_write else READ
+    second_rows = [
+        (READ, pad_base + _LINE, 8, -1, pad_gap),
+        (second_kind, line, 8, -1, 0),
+    ]
+    traces[second_thread] = _append_events(traces[second_thread], second_rows)
+
+    return Program(
+        traces,
+        name=f"{program.name}+race",
+        barrier_participants=dict(program.barrier_participants),
+    )

@@ -1,0 +1,152 @@
+"""Ground-truth region conflict oracles.
+
+Given a :class:`~repro.verify.recorder.ScheduleRecorder` log of one
+run, the oracles compute — by brute force, with no protocol machinery —
+which region pairs conflicted under two definitions:
+
+* :func:`overlap_conflicts` — **region-overlap** semantics: two accesses
+  to overlapping bytes, at least one a write, whose regions' time
+  intervals intersect.  This is the semantics ARC enforces; every pair
+  it returns is a genuine data race.
+
+* :func:`ce_conflicts` — **CE (ISCA 2010)** semantics: additionally the
+  later access must execute *while the earlier access's region is still
+  open* (``t2 < end(r1)``).  This is strictly a subset of the overlap
+  definition.
+
+The verification property the test suite checks on recorded runs:
+
+    ce_conflicts  ⊆  detector's reports  ⊆  overlap_conflicts      (ARC)
+    detector's reports  ⊆  overlap_conflicts                        (CE, CE+)
+    overlap_conflicts == ∅  ⇒  no detector reports anything
+
+(CE's own reports can be a proper subset of ``ce_conflicts`` only by
+scheduling skew of a few cycles; on programs with clean timing they
+match.)
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from .recorder import RecordedAccess, ScheduleRecorder
+
+#: a conflicting region pair, normalized: (line, coreA, regionA, coreB, regionB)
+#: with (coreA, regionA) < (coreB, regionB)
+ConflictKey = tuple[int, int, int, int, int]
+
+
+@dataclass(frozen=True)
+class OracleConflict:
+    line: int
+    first_core: int
+    first_region: int
+    second_core: int
+    second_region: int
+    byte_mask: int
+
+    @property
+    def key(self) -> ConflictKey:
+        return (
+            self.line,
+            self.first_core,
+            self.first_region,
+            self.second_core,
+            self.second_region,
+        )
+
+
+def _conflicting_bytes(a: RecordedAccess, b: RecordedAccess) -> int:
+    if not (a.is_write or b.is_write):
+        return 0
+    return a.mask & b.mask
+
+
+def _pairs_by_line(recorder: ScheduleRecorder):
+    by_line: dict[int, list[RecordedAccess]] = defaultdict(list)
+    for access in recorder.accesses:
+        by_line[access.line].append(access)
+    return by_line
+
+
+def _normalize(
+    line: int, a: RecordedAccess, b: RecordedAccess, mask: int
+) -> OracleConflict:
+    first, second = ((a, b) if (a.core, a.region) <= (b.core, b.region) else (b, a))
+    return OracleConflict(
+        line=line,
+        first_core=first.core,
+        first_region=first.region,
+        second_core=second.core,
+        second_region=second.region,
+        byte_mask=mask,
+    )
+
+
+def overlap_conflicts(recorder: ScheduleRecorder) -> dict[ConflictKey, OracleConflict]:
+    """All conflicting region pairs under region-overlap semantics."""
+    found: dict[ConflictKey, OracleConflict] = {}
+    for line, accesses in _pairs_by_line(recorder).items():
+        for i, a in enumerate(accesses):
+            interval_a = recorder.interval(a.core, a.region)
+            for b in accesses[i + 1:]:
+                if a.core == b.core:
+                    continue
+                mask = _conflicting_bytes(a, b)
+                if not mask:
+                    continue
+                if not interval_a.overlaps(recorder.interval(b.core, b.region)):
+                    continue
+                conflict = _normalize(line, a, b, mask)
+                existing = found.get(conflict.key)
+                if existing is None:
+                    found[conflict.key] = conflict
+                else:
+                    found[conflict.key] = OracleConflict(
+                        **{**existing.__dict__, "byte_mask": existing.byte_mask | mask}
+                    )
+    return found
+
+
+def ce_conflicts(
+    recorder: ScheduleRecorder, margin: int = 0
+) -> dict[ConflictKey, OracleConflict]:
+    """Conflicting pairs under CE's second-access-during-first-region rule.
+
+    ``margin`` excludes *boundary-epsilon* pairs: the engine serializes
+    events, so a region end and a conflicting access whose nominal
+    clocks land within a few tens of cycles of each other may execute in
+    either order — the protocols legitimately resolve such photo-finish
+    pairs as non-overlapping while the recorded timestamps say otherwise
+    by a hair.  Soundness properties should pass a margin of roughly
+    ``2 * SYNC_OP_CYCLES``; the default of 0 is the exact textbook
+    definition.
+    """
+    found: dict[ConflictKey, OracleConflict] = {}
+    for line, accesses in _pairs_by_line(recorder).items():
+        for i, a in enumerate(accesses):
+            for b in accesses[i + 1:]:
+                if a.core == b.core:
+                    continue
+                mask = _conflicting_bytes(a, b)
+                if not mask:
+                    continue
+                earlier, later = (a, b) if a.cycle <= b.cycle else (b, a)
+                earlier_end = recorder.interval(earlier.core, earlier.region).end
+                if earlier_end is not None and later.cycle >= earlier_end - margin:
+                    continue  # earlier region closed (or photo finish)
+                conflict = _normalize(line, a, b, mask)
+                found.setdefault(conflict.key, conflict)
+    return found
+
+
+def detected_keys(conflicts) -> set[ConflictKey]:
+    """Normalize a detector's ConflictRecords to oracle keys."""
+    keys: set[ConflictKey] = set()
+    for record in conflicts:
+        a = (record.first_core, record.first_region)
+        b = (record.second_core, record.second_region)
+        first, second = (a, b) if a <= b else (b, a)
+        keys.add((record.line_addr, first[0], first[1], second[0], second[1]))
+    return keys

@@ -1,0 +1,79 @@
+"""Protocol-independent schedule recording.
+
+When a :class:`~repro.core.simulator.Simulator` is created with
+``recorder=ScheduleRecorder()``, the engine logs every data access
+(core, issue cycle, region index, line, byte mask, kind) and every
+region boundary (core, cycle).  The log is the input to the
+ground-truth conflict oracle: it captures *what actually happened in
+this run's schedule*, independent of how the protocol under test
+detects conflicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class RecordedAccess:
+    core: int
+    cycle: int
+    region: int
+    line: int
+    mask: int
+    is_write: bool
+
+
+@dataclass
+class RegionInterval:
+    """One region's lifetime: [start, end); end is None while open."""
+
+    core: int
+    region: int
+    start: int
+    end: int | None = None
+
+    def overlaps(self, other: "RegionInterval") -> bool:
+        """Closed-open interval overlap; open regions extend to +inf."""
+        self_end = self.end if self.end is not None else float("inf")
+        other_end = other.end if other.end is not None else float("inf")
+        return self.start < other_end and other.start < self_end
+
+
+@dataclass
+class ScheduleRecorder:
+    """Collects one run's accesses and region intervals."""
+
+    accesses: list[RecordedAccess] = field(default_factory=list)
+    _intervals: dict[tuple[int, int], RegionInterval] = field(default_factory=dict)
+
+    def record_access(
+        self, core: int, cycle: int, region: int, line: int, mask: int, is_write: bool
+    ) -> None:
+        self.accesses.append(
+            RecordedAccess(core, cycle, region, line, mask, is_write)
+        )
+        key = (core, region)
+        if key not in self._intervals:
+            # region started no later than its first recorded access
+            self._intervals[key] = RegionInterval(core, region, start=0)
+
+    def record_region_start(self, core: int, region: int, cycle: int) -> None:
+        self._intervals.setdefault(
+            (core, region), RegionInterval(core, region, start=cycle)
+        ).start = cycle
+
+    def record_region_end(self, core: int, region: int, cycle: int) -> None:
+        interval = self._intervals.setdefault(
+            (core, region), RegionInterval(core, region, start=0)
+        )
+        interval.end = cycle
+
+    def interval(self, core: int, region: int) -> RegionInterval:
+        """The recorded interval (regions never entered default to empty)."""
+        return self._intervals.get(
+            (core, region), RegionInterval(core, region, start=0)
+        )
+
+    def intervals(self) -> list[RegionInterval]:
+        return list(self._intervals.values())

@@ -1,0 +1,29 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import SystemConfig
+from repro.core.machine import Machine
+
+
+@pytest.fixture
+def cfg2() -> SystemConfig:
+    """A tiny 2-core system."""
+    return SystemConfig(num_cores=2)
+
+
+@pytest.fixture
+def cfg4() -> SystemConfig:
+    return SystemConfig(num_cores=4)
+
+
+@pytest.fixture
+def cfg8() -> SystemConfig:
+    return SystemConfig(num_cores=8)
+
+
+@pytest.fixture
+def machine4(cfg4) -> Machine:
+    return Machine(cfg4)

@@ -1,0 +1,52 @@
+"""Unit tests for address mapping."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigError
+from repro.mem.address import PAGE_SIZE, AddressMap
+
+
+class TestAddressMap:
+    def test_line_and_offset(self):
+        amap = AddressMap(64, 8)
+        assert amap.line(0) == 0
+        assert amap.line(63) == 0
+        assert amap.line(64) == 64
+        assert amap.offset(67) == 3
+        assert amap.line_index(130) == 2
+
+    def test_home_bank_interleaving(self):
+        amap = AddressMap(64, 4)
+        banks = [amap.home_bank(i * 64) for i in range(8)]
+        assert banks == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_same_line_same_bank(self):
+        amap = AddressMap(64, 8)
+        assert amap.home_bank(0x1000) == amap.home_bank(0x103F)
+
+    def test_page(self):
+        amap = AddressMap(64, 4)
+        assert amap.page(0) == 0
+        assert amap.page(PAGE_SIZE - 1) == 0
+        assert amap.page(PAGE_SIZE + 5) == PAGE_SIZE
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ConfigError):
+            AddressMap(48, 4)
+        with pytest.raises(ConfigError):
+            AddressMap(64, 3)
+
+    @given(st.integers(min_value=0, max_value=2**48))
+    def test_line_contains_addr(self, addr):
+        amap = AddressMap(64, 16)
+        base = amap.line(addr)
+        assert base <= addr < base + 64
+        assert base % 64 == 0
+        assert amap.offset(addr) == addr - base
+
+    @given(st.integers(min_value=0, max_value=2**48))
+    def test_bank_in_range(self, addr):
+        amap = AddressMap(64, 16)
+        assert 0 <= amap.home_bank(addr) < 16

@@ -1,0 +1,327 @@
+"""Protocol-level tests for ARC.
+
+Covers the self-invalidation substrate (classification, self-downgrade,
+self-invalidate, recovery) and the bank-side conflict detection with
+interval-based retention.
+"""
+
+import pytest
+
+from repro.common.config import CacheConfig, SystemConfig
+from repro.common.errors import RegionConflictError
+from repro.core.machine import Machine
+from repro.protocols.arc import SHARED, ArcProtocol
+from repro.trace.events import ACQUIRE, BARRIER, RELEASE
+
+
+def make(num_cores=4, **cfg_kw):
+    cfg = SystemConfig(num_cores=num_cores, protocol="arc", **cfg_kw)
+    machine = Machine(cfg)
+    return machine, ArcProtocol(machine)
+
+
+LINE = 0x4000
+
+
+class TestClassification:
+    def test_first_toucher_is_private(self):
+        _, proto = make()
+        proto.access(0, LINE, 8, False, 0)
+        assert proto.owner_table[LINE] == 0
+        assert not proto.l1[0].get(LINE).shared
+
+    def test_second_toucher_makes_shared(self):
+        machine, proto = make()
+        proto.access(0, LINE, 8, False, 0)
+        proto.access(1, LINE, 8, False, 10)
+        assert proto.owner_table[LINE] == SHARED
+        assert machine.stats.classification_recoveries == 1
+        assert proto.l1[0].get(LINE).shared  # previous owner's copy marked
+        assert proto.l1[1].get(LINE).shared
+
+    def test_recovery_flushes_dirty_private(self):
+        machine, proto = make()
+        proto.access(0, LINE, 8, True, 0)  # dirty private
+        proto.access(1, LINE, 8, False, 10)
+        bank = machine.home_bank(LINE)
+        assert machine.llc_banks[bank].contains(LINE)
+        assert not proto.l1[0].get(LINE).dirty
+
+    def test_recovery_uploads_masks_and_detects_conflict(self):
+        machine, proto = make()
+        proto.access(0, LINE, 8, True, 0)  # private write, no registration
+        proto.access(1, LINE, 8, True, 10)  # transition + conflict
+        assert len(machine.stats.conflicts) == 1
+        assert machine.stats.conflicts[0].kind() == "W-W"
+
+    def test_same_core_refetch_stays_private(self):
+        machine, proto = make(l1=CacheConfig(size=256, assoc=2, line_size=64))
+        proto.access(0, 0x0, 8, False, 0)
+        proto.access(0, 0x80, 8, False, 1)
+        proto.access(0, 0x100, 8, False, 2)  # evicts 0x0
+        proto.access(0, 0x0, 8, False, 3)    # re-fetch: still private
+        assert proto.owner_table[0x0] == 0
+        assert machine.stats.classification_recoveries == 0
+
+
+class TestNoEagerCoherence:
+    def test_no_invalidations_or_forwards_on_write_sharing(self):
+        machine, proto = make()
+        proto.access(0, LINE, 8, False, 0)
+        proto.access(1, LINE, 8, False, 1)
+        proto.access(2, LINE, 8, True, 2)
+        # both earlier readers keep their copies until they self-invalidate
+        assert proto.l1[0].get(LINE) is not None
+        assert proto.l1[1].get(LINE) is not None
+        assert machine.stats.invalidations_sent == 0
+        # (the one FWD is the classification recovery, not coherence)
+        assert machine.stats.forwards == 0
+
+
+class TestBoundaries:
+    def test_acquire_self_invalidates_shared_only(self):
+        machine, proto = make()
+        proto.access(0, LINE, 8, False, 0)
+        proto.access(1, LINE, 8, False, 1)       # LINE now shared
+        proto.access(0, 0x8000, 8, False, 2)      # private line
+        proto.region_boundary(0, 10, ACQUIRE)
+        assert proto.l1[0].get(LINE) is None
+        assert proto.l1[0].get(0x8000) is not None
+        assert machine.stats.self_invalidated_lines == 1
+
+    def test_release_flushes_but_keeps_lines(self):
+        machine, proto = make()
+        proto.access(0, LINE, 8, False, 0)
+        proto.access(1, LINE, 8, True, 1)  # shared + dirty at core1
+        proto.region_boundary(1, 10, RELEASE)
+        payload = proto.l1[1].get(LINE)
+        assert payload is not None
+        assert not payload.dirty
+        assert machine.stats.self_downgrades >= 1
+        bank = machine.home_bank(LINE)
+        assert machine.llc_banks[bank].contains(LINE)
+
+    def test_barrier_flushes_and_invalidates(self):
+        machine, proto = make()
+        proto.access(0, LINE, 8, False, 0)
+        proto.access(1, LINE, 8, True, 1)
+        proto.region_boundary(1, 10, BARRIER)
+        assert proto.l1[1].get(LINE) is None  # shared line dropped
+        assert machine.stats.self_downgrades >= 1
+
+    def test_private_dirty_lines_not_flushed(self):
+        machine, proto = make()
+        proto.access(0, LINE, 8, True, 0)  # private dirty
+        downgrades = machine.stats.self_downgrades
+        proto.region_boundary(0, 10, RELEASE)
+        assert machine.stats.self_downgrades == downgrades
+        assert proto.l1[0].get(LINE).dirty
+
+
+class TestConflictDetection:
+    def test_conflict_on_miss_registration(self):
+        machine, proto = make()
+        proto.access(0, LINE, 8, False, 0)
+        proto.access(1, LINE, 8, False, 1)   # shared now
+        proto.access(2, LINE, 8, True, 5)    # write miss registers + checks
+        kinds = sorted(c.kind() for c in machine.stats.conflicts)
+        assert "R-W" in kinds
+
+    def test_write_hit_conflict_found_at_region_end(self):
+        machine, proto = make()
+        # make LINE shared and cached dirty at core 0
+        proto.access(0, LINE, 8, False, 0)
+        proto.access(1, LINE + 32, 8, False, 1)
+        proto.access(0, LINE, 8, True, 2)     # write hit: lazy, unregistered
+        assert machine.stats.conflicts == []
+        proto.access(1, LINE, 8, False, 3)    # core1 read hit: lazy too
+        # Detection happens once both regions have flushed their deltas —
+        # no later than the end of the second conflicting region.
+        proto.region_boundary(0, 10, RELEASE)
+        proto.region_boundary(1, 20, RELEASE)
+        assert len(machine.stats.conflicts) == 1
+        record = machine.stats.conflicts[0]
+        assert record.detected_by == "region-end-flush"
+        assert record.kind() in ("R-W", "W-R", "W-W")
+
+    def test_byte_disjoint_no_conflict(self):
+        machine, proto = make()
+        proto.access(0, LINE, 8, True, 0)
+        proto.access(1, LINE + 8, 8, True, 1)
+        proto.access(2, LINE + 16, 8, True, 2)
+        for core in range(3):
+            proto.region_boundary(core, 10 + core, RELEASE)
+        assert machine.stats.conflicts == []
+
+    def test_non_overlapping_regions_no_conflict(self):
+        machine, proto = make()
+        proto.access(0, LINE, 8, False, 0)
+        proto.access(1, LINE, 8, False, 1)  # classify shared early
+        # End both initial regions at the same instant, so no later
+        # region overlaps them.
+        proto.region_boundary(0, 5, RELEASE)
+        proto.region_boundary(1, 5, RELEASE)
+        proto.access(0, LINE, 8, True, 10)
+        proto.region_boundary(0, 20, RELEASE)   # region [5,20) writes
+        # core1's conflicting write happens in a region that starts only
+        # after core0's writing region ended.
+        proto.region_boundary(1, 30, RELEASE)
+        proto.access(1, LINE, 8, True, 35)
+        proto.region_boundary(1, 40, RELEASE)
+        assert machine.stats.conflicts == []
+
+    def test_sliver_overlap_is_reported(self):
+        """ARC's precision is region-granularity: a conflicting access
+        pair whose regions overlap at all is reported, even where CE's
+        second-access-during-first-region check would stay silent (the
+        pair is still a genuine data race — see DESIGN.md)."""
+        machine, proto = make()
+        proto.access(0, LINE, 8, False, 0)
+        proto.access(1, LINE, 8, False, 1)   # read registered, region [0,6)
+        proto.region_boundary(0, 5, RELEASE)
+        proto.region_boundary(1, 6, RELEASE)
+        # core0's region [5,20) overlaps core1's read region by [5,6).
+        proto.access(0, LINE, 8, True, 10)
+        proto.region_boundary(0, 20, RELEASE)
+        assert len(machine.stats.conflicts) == 1
+        assert machine.stats.conflicts[0].first_core == 1
+
+    def test_ended_region_still_visible_to_overlapping_flush(self):
+        """Interval retention: B's region ended, but A's overlapping
+        region flushes later and must still see B's masks."""
+        machine, proto = make()
+        proto.access(0, LINE, 8, False, 0)
+        proto.access(1, LINE + 32, 8, False, 0)  # classify shared
+        for core in (0, 1):
+            proto.region_boundary(core, 1, RELEASE)
+        # A (core0) region [1, 100): write hit at t=2 (lazy, unregistered)
+        proto.access(0, LINE, 8, True, 2)
+        # B (core1) region [1, 10): reads the same bytes (miss -> registered)
+        proto.access(1, LINE, 8, False, 5)
+        proto.region_boundary(1, 10, RELEASE)   # B ends
+        proto.region_boundary(1, 20, RELEASE)   # B is two regions further on
+        assert machine.stats.conflicts == []
+        # A's flush at t=100 must still conflict with B's ended region.
+        proto.region_boundary(0, 100, RELEASE)
+        assert len(machine.stats.conflicts) == 1
+
+    def test_halt_on_conflict(self):
+        machine, proto = make(halt_on_conflict=True)
+        proto.access(0, LINE, 8, False, 0)
+        proto.access(1, LINE, 8, False, 1)
+        proto.access(0, LINE, 8, True, 2)
+        proto.access(1, LINE, 8, True, 3)
+        with pytest.raises(RegionConflictError):
+            proto.region_boundary(0, 10, RELEASE)
+
+
+class TestEvictionUpload:
+    def test_shared_line_eviction_uploads_delta(self):
+        machine, proto = make(l1=CacheConfig(size=256, assoc=2, line_size=64))
+        # classify 0x0 shared
+        proto.access(0, 0x0, 8, False, 0)
+        proto.access(1, 0x0, 8, False, 1)
+        # core0 widens its access (lazy delta)
+        proto.access(0, 0x8, 8, False, 2)
+        # pressure out 0x0 from core0
+        proto.access(0, 0x80, 8, False, 3)
+        proto.access(0, 0x100, 8, False, 4)
+        # delta must now be at the bank: core2 writing byte 8 conflicts
+        proto.access(2, 0x8, 8, True, 10)
+        assert any(c.first_core == 0 for c in machine.stats.conflicts)
+
+    def test_private_line_eviction_preserves_masks(self):
+        machine, proto = make(l1=CacheConfig(size=256, assoc=2, line_size=64))
+        proto.access(0, 0x0, 8, True, 0)      # private write
+        proto.access(0, 0x80, 8, False, 1)
+        proto.access(0, 0x100, 8, False, 2)   # evicts 0x0 (masks uploaded)
+        proto.access(1, 0x0, 8, True, 10)     # transition: conflict with upload
+        assert len(machine.stats.conflicts) == 1
+        assert machine.stats.conflicts[0].kind() == "W-W"
+
+
+class TestLazyClearAblation:
+    def test_explicit_clear_sends_messages(self):
+        machine, proto = make(arc_lazy_clear=False)
+        proto.access(0, LINE, 8, False, 0)
+        proto.access(1, LINE, 8, False, 1)  # shared; both registered
+        proto.region_boundary(0, 10, RELEASE)
+        assert machine.stats.arc_clear_messages >= 1
+
+    def test_lazy_clear_sends_none(self):
+        machine, proto = make(arc_lazy_clear=True)
+        proto.access(0, LINE, 8, False, 0)
+        proto.access(1, LINE, 8, False, 1)
+        proto.region_boundary(0, 10, RELEASE)
+        assert machine.stats.arc_clear_messages == 0
+
+
+class TestNoOffchipMetadata:
+    def test_arc_metadata_never_goes_offchip(self):
+        machine, proto = make(l1=CacheConfig(size=256, assoc=2, line_size=64))
+        for i in range(30):
+            base = (i % 5) * 0x80
+            proto.access(i % 3, base, 8, i % 2 == 0, i * 3)
+        for core in range(3):
+            proto.region_boundary(core, 1000 + core, ACQUIRE)
+        assert machine.dram.metadata_bytes == 0
+
+
+class TestWriteThroughAblation:
+    def make_wt(self, **kw):
+        return make(arc_write_through=True, **kw)
+
+    def test_shared_store_goes_through(self):
+        machine, proto = self.make_wt()
+        proto.access(0, LINE, 8, False, 0)
+        proto.access(1, LINE, 8, False, 1)   # LINE shared
+        proto.access(0, LINE, 8, True, 2)    # WT store
+        assert machine.stats.arc_write_throughs == 1
+        payload = proto.l1[0].get(LINE)
+        assert not payload.dirty
+        bank = machine.home_bank(LINE)
+        assert machine.llc_banks[bank].contains(LINE)
+
+    def test_boundary_has_nothing_to_flush(self):
+        machine, proto = self.make_wt()
+        proto.access(0, LINE, 8, False, 0)
+        proto.access(1, LINE, 8, False, 1)
+        proto.access(0, LINE, 8, True, 2)
+        downgrades = machine.stats.self_downgrades
+        from repro.trace.events import RELEASE as REL
+        proto.region_boundary(0, 10, REL)
+        assert machine.stats.self_downgrades == downgrades
+
+    def test_private_store_stays_write_back(self):
+        machine, proto = self.make_wt()
+        proto.access(0, LINE, 8, True, 0)    # private
+        assert machine.stats.arc_write_throughs == 0
+        assert proto.l1[0].get(LINE).dirty
+
+    def test_wt_write_registers_eagerly(self):
+        """A WT store's masks are visible at the bank immediately, so a
+        later reader's miss conflicts right away."""
+        machine, proto = self.make_wt()
+        proto.access(0, LINE, 8, False, 0)
+        proto.access(1, LINE + 32, 8, False, 1)   # classify shared
+        proto.access(0, LINE, 8, True, 2)          # WT store, registered
+        proto.access(2, LINE, 8, False, 3)         # miss: immediate R-W hit
+        assert len(machine.stats.conflicts) == 1
+        assert machine.stats.conflicts[0].kind() == "W-R"
+
+    def test_write_miss_writes_through(self):
+        machine, proto = self.make_wt()
+        proto.access(0, LINE, 8, False, 0)
+        proto.access(1, LINE + 32, 8, False, 1)    # shared
+        # drop core0's copy, then write-miss it
+        proto.l1[0].invalidate(LINE)
+        proto.access(0, LINE, 8, True, 5)
+        assert machine.stats.arc_write_throughs == 1
+        assert not proto.l1[0].get(LINE).dirty
+
+    def test_conflict_semantics_unchanged(self):
+        machine, proto = self.make_wt()
+        proto.access(0, LINE, 8, True, 0)
+        proto.access(1, LINE, 8, True, 1)
+        assert len(machine.stats.conflicts) == 1
+        assert machine.stats.conflicts[0].kind() == "W-W"

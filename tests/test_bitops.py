@@ -1,0 +1,78 @@
+"""Unit and property tests for byte-mask operations."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.bitops import (
+    byte_mask,
+    full_mask,
+    mask_bytes,
+    mask_popcount,
+    masks_overlap,
+)
+from repro.common.errors import SimulationError
+
+
+class TestByteMask:
+    def test_first_bytes(self):
+        assert byte_mask(0, 4, 64) == 0b1111
+
+    def test_offset_bytes(self):
+        assert byte_mask(6, 2, 8) == 0b11000000
+
+    def test_single_byte(self):
+        assert byte_mask(63, 1, 64) == 1 << 63
+
+    def test_whole_line(self):
+        assert byte_mask(0, 64, 64) == full_mask(64)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(SimulationError):
+            byte_mask(0, 0, 64)
+
+    def test_straddling_rejected(self):
+        with pytest.raises(SimulationError):
+            byte_mask(60, 8, 64)
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(SimulationError):
+            byte_mask(-1, 4, 64)
+
+
+@st.composite
+def access(draw, line_size=64):
+    size = draw(st.integers(min_value=1, max_value=8))
+    offset = draw(st.integers(min_value=0, max_value=line_size - size))
+    return offset, size
+
+
+class TestMaskProperties:
+    @given(access())
+    def test_popcount_equals_size(self, acc):
+        offset, size = acc
+        assert mask_popcount(byte_mask(offset, size, 64)) == size
+
+    @given(access())
+    def test_mask_bytes_are_the_range(self, acc):
+        offset, size = acc
+        assert mask_bytes(byte_mask(offset, size, 64)) == list(
+            range(offset, offset + size)
+        )
+
+    @given(access(), access())
+    def test_overlap_iff_ranges_intersect(self, a, b):
+        (ao, asz), (bo, bsz) = a, b
+        expected = ao < bo + bsz and bo < ao + asz
+        assert masks_overlap(byte_mask(ao, asz, 64), byte_mask(bo, bsz, 64)) == expected
+
+    @given(access())
+    def test_mask_within_line(self, acc):
+        offset, size = acc
+        assert byte_mask(offset, size, 64) & ~full_mask(64) == 0
+
+    def test_disjoint_masks_do_not_overlap(self):
+        assert not masks_overlap(0b1100, 0b0011)
+
+    def test_empty_mask_never_overlaps(self):
+        assert not masks_overlap(0, full_mask(64))

@@ -1,0 +1,200 @@
+"""Unit and property tests for the set-associative LRU cache."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import CacheConfig
+from repro.common.errors import SimulationError
+from repro.mem.cache import SetAssocCache
+
+
+def make_cache(num_sets=2, assoc=2, line_size=64):
+    return SetAssocCache(num_sets, assoc, line_size)
+
+
+def line(index, num_sets=2, line_size=64, set_index=0):
+    """Address of the index-th line mapping to `set_index`."""
+    return (index * num_sets + set_index) * line_size
+
+
+class TestBasicOperations:
+    def test_miss_returns_none(self):
+        assert make_cache().get(0) is None
+
+    def test_insert_then_hit(self):
+        cache = make_cache()
+        assert cache.insert(0, "a") is None
+        assert cache.get(0) == "a"
+
+    def test_from_config(self):
+        cache = SetAssocCache.from_config(CacheConfig())
+        assert cache.num_sets == 64
+        assert cache.assoc == 8
+
+    def test_none_payload_rejected(self):
+        with pytest.raises(SimulationError):
+            make_cache().insert(0, None)
+
+    def test_invalidate(self):
+        cache = make_cache()
+        cache.insert(0, "a")
+        assert cache.invalidate(0) == "a"
+        assert cache.get(0) is None
+        assert cache.invalidate(0) is None
+
+    def test_contains(self):
+        cache = make_cache()
+        cache.insert(0, "a")
+        assert cache.contains(0)
+        assert not cache.contains(64)
+
+
+class TestLRU:
+    def test_eviction_is_lru(self):
+        cache = make_cache(num_sets=2, assoc=2)
+        a, b, c = line(0), line(1), line(2)
+        cache.insert(a, "a")
+        cache.insert(b, "b")
+        victim = cache.insert(c, "c")
+        assert victim == (a, "a")
+
+    def test_get_refreshes_lru(self):
+        cache = make_cache(num_sets=2, assoc=2)
+        a, b, c = line(0), line(1), line(2)
+        cache.insert(a, "a")
+        cache.insert(b, "b")
+        cache.get(a)  # refresh a; b becomes LRU
+        victim = cache.insert(c, "c")
+        assert victim == (b, "b")
+
+    def test_get_without_touch_preserves_lru(self):
+        cache = make_cache(num_sets=2, assoc=2)
+        a, b, c = line(0), line(1), line(2)
+        cache.insert(a, "a")
+        cache.insert(b, "b")
+        cache.get(a, touch=False)
+        victim = cache.insert(c, "c")
+        assert victim == (a, "a")
+
+    def test_replace_existing_does_not_evict(self):
+        cache = make_cache(num_sets=2, assoc=2)
+        a, b = line(0), line(1)
+        cache.insert(a, "a")
+        cache.insert(b, "b")
+        assert cache.insert(a, "a2") is None
+        assert cache.get(a) == "a2"
+        assert len(cache) == 2
+
+    def test_different_sets_do_not_interfere(self):
+        cache = make_cache(num_sets=2, assoc=1)
+        cache.insert(line(0, set_index=0), "a")
+        assert cache.insert(line(0, set_index=1), "b") is None
+        assert len(cache) == 2
+
+    def test_peek_victim(self):
+        cache = make_cache(num_sets=2, assoc=2)
+        a, b, c = line(0), line(1), line(2)
+        cache.insert(a, "a")
+        assert cache.peek_victim(c) is None  # set not full
+        cache.insert(b, "b")
+        assert cache.peek_victim(c) == (a, "a")
+        assert cache.peek_victim(a) is None  # already resident
+        assert cache.get(c) is None  # peek did not insert
+
+
+class TestBulkOperations:
+    def test_items_and_occupancy(self):
+        cache = make_cache(num_sets=4, assoc=4)
+        for i in range(6):
+            cache.insert(i * 64, i)
+        assert cache.occupancy() == 6
+        assert dict(cache.items()) == {i * 64: i for i in range(6)}
+
+    def test_invalidate_where(self):
+        cache = make_cache(num_sets=4, assoc=4)
+        for i in range(8):
+            cache.insert(i * 64, i)
+        dropped = cache.invalidate_where(lambda addr, payload: payload % 2 == 0)
+        assert sorted(p for _, p in dropped) == [0, 2, 4, 6]
+        assert cache.occupancy() == 4
+
+    def test_clear(self):
+        cache = make_cache()
+        cache.insert(0, "a")
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestCapacityProperty:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=300)
+    )
+    @settings(max_examples=50)
+    def test_never_exceeds_capacity_and_keeps_mru(self, accesses):
+        num_sets, assoc, line_size = 4, 2, 64
+        cache = SetAssocCache(num_sets, assoc, line_size)
+        for idx in accesses:
+            addr = idx * line_size
+            if cache.get(addr) is None:
+                cache.insert(addr, idx)
+        # capacity invariant
+        assert cache.occupancy() <= num_sets * assoc
+        # the most recently accessed line is always resident
+        assert cache.contains(accesses[-1] * line_size)
+
+
+class TestModelBased:
+    """Model-based check against a brutally simple reference LRU."""
+
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from(["get", "insert", "invalidate"]),
+                      st.integers(min_value=0, max_value=40)),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    @settings(max_examples=60)
+    def test_matches_reference(self, ops):
+        num_sets, assoc, line_size = 2, 3, 64
+        cache = SetAssocCache(num_sets, assoc, line_size)
+        # reference: per-set list of addrs, LRU at the front
+        reference = [[] for _ in range(num_sets)]
+
+        def ref_set(addr):
+            return reference[(addr // line_size) % num_sets]
+
+        for op, idx in ops:
+            addr = idx * line_size
+            entries = ref_set(addr)
+            if op == "get":
+                expected = addr if addr in entries else None
+                got = cache.get(addr)
+                assert (got is not None) == (expected is not None)
+                if expected is not None:
+                    entries.remove(addr)
+                    entries.append(addr)
+            elif op == "insert":
+                victim = cache.insert(addr, addr)
+                if addr in entries:
+                    assert victim is None
+                    entries.remove(addr)
+                    entries.append(addr)
+                else:
+                    if len(entries) >= assoc:
+                        expected_victim = entries.pop(0)
+                        assert victim == (expected_victim, expected_victim)
+                    else:
+                        assert victim is None
+                    entries.append(addr)
+            else:
+                expected = addr if addr in entries else None
+                got = cache.invalidate(addr)
+                assert (got is not None) == (expected is not None)
+                if expected is not None:
+                    entries.remove(addr)
+        # final residency agrees exactly
+        assert sorted(a for a, _ in cache.items()) == sorted(
+            a for entries in reference for a in entries
+        )

@@ -1,0 +1,196 @@
+"""Protocol-level tests for Conflict Exceptions (CE).
+
+CE = MESI + byte-level access bits + eager conflict checks + metadata
+spill/fill/clear against main memory.
+"""
+
+import pytest
+
+from repro.common.config import CacheConfig, SystemConfig
+from repro.common.errors import RegionConflictError
+from repro.core.machine import Machine
+from repro.protocols.ce import CeProtocol
+from repro.trace.events import ACQUIRE, RELEASE
+
+
+def make(num_cores=4, **cfg_kw):
+    cfg = SystemConfig(num_cores=num_cores, protocol="ce", **cfg_kw)
+    machine = Machine(cfg)
+    return machine, CeProtocol(machine)
+
+
+LINE = 0x4000
+
+
+class TestAccessBits:
+    def test_read_sets_read_mask(self):
+        _, proto = make()
+        proto.access(0, LINE + 8, 4, False, 0)
+        payload = proto.l1[0].get(LINE)
+        assert payload.read_mask == 0b1111 << 8
+        assert payload.write_mask == 0
+        assert payload.region == 0
+
+    def test_write_sets_write_mask(self):
+        _, proto = make()
+        proto.access(0, LINE, 8, True, 0)
+        payload = proto.l1[0].get(LINE)
+        assert payload.write_mask == 0xFF
+
+    def test_masks_accumulate_within_region(self):
+        _, proto = make()
+        proto.access(0, LINE, 4, False, 0)
+        proto.access(0, LINE + 4, 4, False, 1)
+        assert proto.l1[0].get(LINE).read_mask == 0xFF
+
+    def test_masks_reset_across_regions(self):
+        _, proto = make()
+        proto.access(0, LINE, 8, False, 0)
+        proto.region_boundary(0, 10, RELEASE)
+        proto.access(0, LINE, 4, True, 20)
+        payload = proto.l1[0].get(LINE)
+        assert payload.read_mask == 0
+        assert payload.write_mask == 0b1111
+        assert payload.region == 1
+
+
+class TestEagerConflicts:
+    def test_write_write_conflict_via_forward(self):
+        machine, proto = make()
+        proto.access(0, LINE, 8, True, 0)
+        proto.access(1, LINE, 8, True, 5)
+        assert len(machine.stats.conflicts) == 1
+        record = machine.stats.conflicts[0]
+        assert record.kind() == "W-W"
+        assert record.first_core == 0 and record.second_core == 1
+        assert record.byte_mask == 0xFF
+        assert record.detected_by == "fwd"
+
+    def test_read_write_conflict_via_invalidation(self):
+        machine, proto = make()
+        proto.access(0, LINE, 8, False, 0)
+        proto.access(1, LINE, 8, False, 2)   # both sharers
+        proto.access(2, LINE, 8, True, 5)    # invalidates both
+        kinds = {c.kind() for c in machine.stats.conflicts}
+        assert kinds == {"R-W"}
+        assert len(machine.stats.conflicts) == 2
+
+    def test_write_read_conflict_via_forward(self):
+        machine, proto = make()
+        proto.access(0, LINE, 8, True, 0)
+        proto.access(1, LINE, 8, False, 5)
+        assert [c.kind() for c in machine.stats.conflicts] == ["W-R"]
+
+    def test_read_read_never_conflicts(self):
+        machine, proto = make()
+        proto.access(0, LINE, 8, False, 0)
+        proto.access(1, LINE, 8, False, 5)
+        proto.access(2, LINE, 8, False, 9)
+        assert machine.stats.conflicts == []
+
+    def test_byte_disjoint_accesses_never_conflict(self):
+        """False sharing must not raise (byte-level precision)."""
+        machine, proto = make()
+        proto.access(0, LINE, 8, True, 0)
+        proto.access(1, LINE + 8, 8, True, 5)
+        proto.access(2, LINE + 16, 8, True, 9)
+        assert machine.stats.conflicts == []
+
+    def test_no_conflict_across_region_boundary(self):
+        machine, proto = make()
+        proto.access(0, LINE, 8, True, 0)
+        proto.region_boundary(0, 10, RELEASE)  # region with the write ends
+        proto.access(1, LINE, 8, True, 20)
+        assert machine.stats.conflicts == []
+
+    def test_same_region_pair_reported_once(self):
+        machine, proto = make(l1=CacheConfig(size=256, assoc=2, line_size=64))
+        proto.access(0, 0x0, 8, False, 0)   # core0 reads line A
+        proto.access(1, 0x0, 8, True, 5)    # R-W conflict; core0's bits spill
+        assert len(machine.stats.conflicts) == 1
+        # Evict line A from core1 (same-set pressure), then write it again:
+        # the home re-checks core0's spilled bits — same region pair.
+        proto.access(1, 0x80, 8, False, 10)
+        proto.access(1, 0x100, 8, False, 20)
+        proto.access(1, 0x0, 8, True, 30)
+        assert len(machine.stats.conflicts) == 1
+
+    def test_halt_on_conflict_raises(self):
+        machine, proto = make(halt_on_conflict=True)
+        proto.access(0, LINE, 8, True, 0)
+        with pytest.raises(RegionConflictError) as exc_info:
+            proto.access(1, LINE, 8, True, 5)
+        assert exc_info.value.record.kind() == "W-W"
+
+
+class TestMetadataSpill:
+    def tiny(self):
+        return make(l1=CacheConfig(size=256, assoc=2, line_size=64))
+
+    def test_eviction_with_live_bits_spills(self):
+        machine, proto = self.tiny()
+        lines = [0x0, 0x80, 0x100]  # same set
+        for i, line in enumerate(lines):
+            proto.access(0, line, 8, True, i)
+        assert machine.stats.metadata_spills == 1
+        assert machine.dram.metadata_bytes_written == proto.cfg.metadata_bytes
+        assert 0x0 in proto.spill_log[0]
+
+    def test_eviction_with_stale_bits_does_not_spill(self):
+        machine, proto = self.tiny()
+        lines = [0x0, 0x80, 0x100]
+        proto.access(0, lines[0], 8, False, 0)
+        proto.region_boundary(0, 5, RELEASE)  # bits go stale
+        proto.access(0, lines[1], 8, False, 10)
+        proto.access(0, lines[2], 8, False, 20)
+        assert machine.stats.metadata_spills == 0
+
+    def test_spilled_metadata_still_detects_conflict(self):
+        machine, proto = self.tiny()
+        lines = [0x0, 0x80, 0x100]
+        for i, line in enumerate(lines):
+            proto.access(0, line, 8, True, i)  # lines[0] spilled
+        proto.access(1, lines[0], 8, True, 50)
+        conflicts = machine.stats.conflicts
+        assert len(conflicts) == 1
+        assert conflicts[0].detected_by == "meta-check"
+        assert conflicts[0].first_core == 0
+
+    def test_refill_restores_own_bits(self):
+        machine, proto = self.tiny()
+        lines = [0x0, 0x80, 0x100]
+        for i, line in enumerate(lines):
+            proto.access(0, line, 8, True, i)
+        fills_before = machine.stats.metadata_fills
+        proto.access(0, lines[0], 4, False, 50)  # re-touch spilled line
+        assert machine.stats.metadata_fills == fills_before + 1
+        payload = proto.l1[0].get(lines[0])
+        assert payload.write_mask == 0xFF  # restored from spill
+        assert lines[0] not in proto.spill_log[0]
+
+    def test_region_end_clears_spilled(self):
+        machine, proto = self.tiny()
+        lines = [0x0, 0x80, 0x100]
+        for i, line in enumerate(lines):
+            proto.access(0, line, 8, True, i)
+        assert machine.stats.metadata_spills == 1
+        latency = proto.region_boundary(0, 100, ACQUIRE)
+        assert latency > 0
+        assert machine.stats.metadata_clears == 1
+        assert proto.spill_log[0] == set()
+        assert proto.meta_table.get_line(lines[0]) is None
+
+    def test_invalidation_spills_live_bits(self):
+        machine, proto = make()
+        proto.access(0, LINE, 8, False, 0)
+        proto.access(1, LINE, 8, False, 1)
+        # core 2 writes: sharers invalidated; their live read bits spill
+        proto.access(2, LINE, 8, True, 10)
+        assert machine.stats.metadata_spills == 2
+
+
+class TestBoundaryNoWork:
+    def test_boundary_without_spills_is_free(self):
+        _, proto = make()
+        proto.access(0, LINE, 8, True, 0)
+        assert proto.region_boundary(0, 10, RELEASE) == 0

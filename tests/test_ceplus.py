@@ -1,0 +1,133 @@
+"""Protocol-level tests for CE+ (CE with the AIM metadata cache)."""
+
+import pytest
+
+from repro.common.config import AimConfig, CacheConfig, SystemConfig
+from repro.core.machine import Machine
+from repro.protocols.aim import AimSlice
+from repro.protocols.ceplus import CePlusProtocol
+from repro.trace.events import ACQUIRE
+
+
+def make(num_cores=4, aim=None, **cfg_kw):
+    cfg = SystemConfig(
+        num_cores=num_cores,
+        protocol="ce+",
+        l1=CacheConfig(size=256, assoc=2, line_size=64),
+        aim=aim or AimConfig(),
+        **cfg_kw,
+    )
+    machine = Machine(cfg)
+    return machine, CePlusProtocol(machine)
+
+
+def spill_one(proto, core=0):
+    """Touch three same-set lines so the first one's metadata spills."""
+    lines = [0x0, 0x80, 0x100]
+    for i, line in enumerate(lines):
+        proto.access(core, line, 8, True, i)
+    return lines
+
+
+class TestAimAbsorbsMetadata:
+    def test_spill_goes_to_aim_not_dram(self):
+        machine, proto = spill_one_machine()
+        assert machine.stats.metadata_spills == 1
+        assert machine.stats.aim_writebacks == 1
+        assert machine.dram.metadata_bytes == 0  # on-chip, not off-chip
+
+    def test_conflict_check_hits_aim(self):
+        machine, proto = make()
+        lines = spill_one(proto, core=0)
+        proto.access(1, lines[0], 8, True, 50)
+        assert len(machine.stats.conflicts) == 1
+        assert machine.stats.aim_hits >= 1
+        assert machine.dram.metadata_bytes == 0
+
+    def test_region_clear_stays_on_chip(self):
+        machine, proto = make()
+        spill_one(proto)
+        proto.region_boundary(0, 100, ACQUIRE)
+        assert machine.stats.metadata_clears == 1
+        assert machine.dram.metadata_bytes == 0
+
+    def test_same_semantics_as_ce(self):
+        """CE+ detects exactly the conflicts CE would on this sequence."""
+        machine, proto = make()
+        lines = spill_one(proto, core=0)
+        proto.access(1, lines[0], 8, True, 50)
+        proto.access(2, lines[1], 8, False, 60)
+        kinds = sorted(c.kind() for c in machine.stats.conflicts)
+        assert kinds == ["W-R", "W-W"]
+
+
+def spill_one_machine():
+    machine, proto = make()
+    spill_one(proto)
+    return machine, proto
+
+
+class TestAimSlice:
+    def make_slice(self, **aim_kw):
+        cfg = SystemConfig(num_cores=4, protocol="ce+", aim=AimConfig(**aim_kw))
+        machine = Machine(cfg)
+        return machine, AimSlice(cfg.aim, cfg.metadata_bytes, machine.dram, machine.stats)
+
+    def test_read_miss_fills_from_dram(self):
+        machine, aim = self.make_slice()
+        latency = aim.read(0x40, 0)
+        assert machine.stats.aim_misses == 1
+        assert machine.dram.metadata_bytes_read == 32
+        assert latency > aim.cfg.latency
+
+    def test_read_hit_after_fill(self):
+        machine, aim = self.make_slice()
+        aim.read(0x40, 0)
+        latency = aim.read(0x40, 10)
+        assert machine.stats.aim_hits == 1
+        assert latency == aim.cfg.latency
+        assert machine.dram.metadata_bytes_read == 32  # no second fill
+
+    def test_write_allocates_without_fill(self):
+        machine, aim = self.make_slice()
+        aim.write(0x40, 0)
+        assert machine.dram.metadata_bytes == 0  # write-back: nothing off-chip
+        aim.read(0x40, 10)
+        assert machine.stats.aim_hits == 1
+
+    def test_dirty_eviction_writes_back(self):
+        # 1-set AIM: capacity = assoc entries
+        machine, aim = self.make_slice(size=8 * 32, assoc=8)
+        for i in range(9):
+            aim.write(i * 64, i)
+        assert machine.stats.aim_evictions == 1
+        assert machine.dram.metadata_bytes_written == 32
+
+    def test_clean_eviction_is_silent(self):
+        machine, aim = self.make_slice(size=8 * 32, assoc=8)
+        for i in range(9):
+            aim.read(i * 64, i)  # fills (clean)
+        assert machine.stats.aim_evictions == 1
+        # 9 fills, no writeback
+        assert machine.dram.metadata_bytes_written == 0
+
+    def test_write_through_policy(self):
+        machine, aim = self.make_slice(write_through=True)
+        aim.write(0x40, 0)
+        assert machine.dram.metadata_bytes_written == 32
+
+
+class TestAimSizeSensitivity:
+    def test_small_aim_spills_to_dram(self):
+        """A tiny AIM thrashes and produces off-chip metadata traffic a
+        big AIM avoids (the AIM-sensitivity figure's mechanism)."""
+        small = AimConfig(size=2 * 32, assoc=2)
+        machine_small, proto_small = make(aim=small)
+        machine_big, proto_big = make()
+        for proto in (proto_small, proto_big):
+            for i in range(20):  # many distinct spilled lines
+                base = i * 0x200
+                for j, line in enumerate((base, base + 0x80, base + 0x100)):
+                    proto.access(0, line, 8, True, i * 100 + j)
+        assert machine_small.dram.metadata_bytes > 0
+        assert machine_big.dram.metadata_bytes == 0

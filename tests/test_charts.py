@@ -1,0 +1,76 @@
+"""Tests for the ASCII bar-chart renderer."""
+
+import pytest
+
+from repro.harness.charts import chartable, render_bars
+from repro.harness.tables import TextTable
+
+
+def figure_table():
+    table = TextTable("Runtime normalized to MESI", ["workload", "ce", "ce+", "arc"])
+    table.add_row("lock-counter", 1.2, 1.0, 0.9)
+    table.add_row("migratory", 2.0, 1.1, 0.8)
+    return table
+
+
+class TestChartable:
+    def test_numeric_table_is_chartable(self):
+        assert chartable(figure_table())
+
+    def test_text_cells_not_chartable(self):
+        table = TextTable("t", ["a", "b"])
+        table.add_row("x", "text")
+        assert not chartable(table)
+
+    def test_bool_cells_not_chartable(self):
+        table = TextTable("t", ["a", "b"])
+        table.add_row("x", True)
+        assert not chartable(table)
+
+    def test_empty_table_not_chartable(self):
+        assert not chartable(TextTable("t", ["a", "b"]))
+
+
+class TestRenderBars:
+    def test_contains_labels_and_values(self):
+        text = render_bars(figure_table())
+        for token in ("lock-counter", "migratory", "ce", "arc", "1.200", "0.800"):
+            assert token in text
+
+    def test_bar_lengths_ordered(self):
+        text = render_bars(figure_table(), width=40)
+        lines = {line.strip().split()[0]: line for line in text.splitlines()
+                 if "#" in line}
+        ce_line = lines["ce"]
+        arc_line = lines["arc"]
+        assert ce_line.count("#") >= arc_line.count("#")
+
+    def test_baseline_tick_present(self):
+        text = render_bars(figure_table(), baseline=1.0)
+        assert "|" in text
+
+    def test_no_baseline(self):
+        text = render_bars(figure_table(), baseline=None)
+        assert "|" not in text
+
+    def test_non_numeric_rejected(self):
+        table = TextTable("t", ["a", "b"])
+        table.add_row("x", "nope")
+        with pytest.raises(ValueError):
+            render_bars(table)
+
+    def test_all_zero_values(self):
+        table = TextTable("t", ["a", "b"])
+        table.add_row("x", 0.0)
+        text = render_bars(table, baseline=None)
+        assert "0.000" in text
+
+
+class TestCliIntegration:
+    def test_chart_flag(self, capsys):
+        from repro.harness.run import main
+
+        assert main(["fig_perf_16", "--preset", "quick", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "#" in out
+        assert "geomean" in out

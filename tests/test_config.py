@@ -1,0 +1,132 @@
+"""Unit tests for configuration validation and derived geometry."""
+
+import pytest
+
+from repro.common.config import (
+    AimConfig,
+    CacheConfig,
+    DramConfig,
+    NocConfig,
+    ProtocolKind,
+    SystemConfig,
+)
+from repro.common.errors import ConfigError
+
+
+class TestCacheConfig:
+    def test_default_geometry(self):
+        cfg = CacheConfig()
+        assert cfg.num_sets == 64
+        assert cfg.num_lines == 512
+
+    def test_string_size(self):
+        cfg = CacheConfig(size="64KB")
+        assert cfg.size == 64 * 1024
+
+    def test_non_power_of_two_line_rejected(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(line_size=48)
+
+    def test_indivisible_size_rejected(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(size=1000, assoc=3, line_size=64)
+
+    def test_non_power_of_two_sets_rejected(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(size=3 * 64 * 8, assoc=8, line_size=64)
+
+    def test_zero_assoc_rejected(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(assoc=0)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(hit_latency=-1)
+
+    def test_describe_mentions_geometry(self):
+        text = CacheConfig().describe()
+        assert "32KB" in text and "8-way" in text
+
+
+class TestAimConfig:
+    def test_default_entries(self):
+        cfg = AimConfig()
+        assert cfg.num_entries == 128 * 1024 // 32
+        assert cfg.num_sets == cfg.num_entries // cfg.assoc
+
+    def test_write_policy_described(self):
+        assert "write-back" in AimConfig().describe()
+        assert "write-through" in AimConfig(write_through=True).describe()
+
+    def test_bad_entry_size_rejected(self):
+        with pytest.raises(ConfigError):
+            AimConfig(entry_bytes=0)
+
+
+class TestNocDramConfig:
+    def test_noc_validation(self):
+        with pytest.raises(ConfigError):
+            NocConfig(flit_bytes=0)
+        with pytest.raises(ConfigError):
+            NocConfig(saturation_fraction=0.0)
+        with pytest.raises(ConfigError):
+            NocConfig(saturation_fraction=1.5)
+
+    def test_dram_validation(self):
+        with pytest.raises(ConfigError):
+            DramConfig(channels=0)
+        with pytest.raises(ConfigError):
+            DramConfig(bytes_per_cycle=0)
+
+
+class TestSystemConfig:
+    def test_default_is_mesi(self):
+        assert SystemConfig().protocol is ProtocolKind.MESI
+
+    def test_protocol_from_string(self):
+        assert SystemConfig(protocol="arc").protocol is ProtocolKind.ARC
+
+    @pytest.mark.parametrize("cores,w,h", [(2, 2, 1), (4, 2, 2), (8, 4, 2), (16, 4, 4), (32, 8, 4), (64, 8, 8)])
+    def test_mesh_geometry(self, cores, w, h):
+        cfg = SystemConfig(num_cores=cores)
+        assert (cfg.mesh_width, cfg.mesh_height) == (w, h)
+        assert cfg.mesh_width * cfg.mesh_height == cores
+
+    def test_non_power_of_two_cores_rejected(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(num_cores=12)
+
+    def test_zero_cores_rejected(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(num_cores=0)
+
+    def test_mismatched_line_sizes_rejected(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(
+                l1=CacheConfig(line_size=32),
+                llc_bank=CacheConfig(size=512 * 1024, line_size=64),
+            )
+
+    def test_with_protocol_copies(self):
+        cfg = SystemConfig()
+        arc = cfg.with_protocol(ProtocolKind.ARC)
+        assert arc.protocol is ProtocolKind.ARC
+        assert cfg.protocol is ProtocolKind.MESI
+        assert arc.num_cores == cfg.num_cores
+
+    def test_with_cores_copies(self):
+        assert SystemConfig().with_cores(32).num_cores == 32
+
+    def test_table_has_all_components(self):
+        rows = dict(SystemConfig().table())
+        for key in ("Cores", "LLC (shared)", "Interconnect", "Main memory"):
+            assert key in rows
+
+    def test_detects_conflicts_property(self):
+        assert not ProtocolKind.MESI.detects_conflicts
+        assert ProtocolKind.CE.detects_conflicts
+        assert ProtocolKind.CEPLUS.detects_conflicts
+        assert ProtocolKind.ARC.detects_conflicts
+
+    def test_one_bank_per_core(self):
+        assert SystemConfig(num_cores=8).num_banks == 8

@@ -1,0 +1,77 @@
+"""Unit tests for the DRAM model."""
+
+from repro.common.config import DramConfig
+from repro.mem.dram import DramModel
+
+
+def make_dram(**kw):
+    return DramModel(DramConfig(**kw))
+
+
+class TestAccounting:
+    def test_data_read(self):
+        dram = make_dram()
+        latency = dram.access(0, 64, write=False)
+        assert latency == dram.cfg.latency
+        assert dram.data_bytes_read == 64
+        assert dram.total_bytes == 64
+        assert dram.accesses == 1
+        assert dram.metadata_bytes == 0
+
+    def test_data_write(self):
+        dram = make_dram()
+        dram.access(0, 64, write=True)
+        assert dram.data_bytes_written == 64
+
+    def test_metadata_split(self):
+        dram = make_dram()
+        dram.access(0, 32, write=True, metadata=True)
+        dram.access(0, 32, write=False, metadata=True)
+        assert dram.metadata_bytes_written == 32
+        assert dram.metadata_bytes_read == 32
+        assert dram.metadata_bytes == 64
+        assert dram.metadata_accesses == 2
+        assert dram.data_bytes_read == 0
+
+
+class TestQueueing:
+    def test_no_delay_at_low_utilization(self):
+        dram = make_dram()
+        for i in range(10):
+            assert dram.access(i, 64, write=False) == dram.cfg.latency
+        assert dram.queue_delay_cycles == 0
+
+    def test_delay_when_saturated(self):
+        # Tiny window and bandwidth so a few accesses saturate it.
+        dram = make_dram(bytes_per_cycle=0.01, channels=1, window_cycles=100)
+        latencies = [dram.access(5, 64, write=False) for _ in range(50)]
+        assert latencies[-1] > dram.cfg.latency
+        assert dram.queue_delay_cycles > 0
+        assert dram.saturated_accesses > 0
+
+    def test_delay_bounded(self):
+        dram = make_dram(bytes_per_cycle=0.01, channels=1, window_cycles=100,
+                         max_queue_penalty=77)
+        for _ in range(500):
+            latency = dram.access(5, 64, write=False)
+        assert latency <= dram.cfg.latency + 77
+
+    def test_windows_reset(self):
+        dram = make_dram(bytes_per_cycle=0.01, channels=1, window_cycles=100)
+        for _ in range(200):
+            dram.access(5, 64, write=False)
+        # A much later window sees no carry-over demand.
+        assert dram.access(100_000, 64, write=False) == dram.cfg.latency
+
+    def test_utilization_reporting(self):
+        dram = make_dram(bytes_per_cycle=1.0, channels=1, window_cycles=100)
+        assert dram.utilization(0) == 0.0
+        dram.access(0, 50, write=False)
+        assert dram.utilization(0) == 0.5
+        assert dram.utilization(100) == 0.0
+
+    def test_window_pruning(self):
+        dram = make_dram(window_cycles=10)
+        for window in range(50):
+            dram.access(window * 10, 8, write=False)
+        assert len(dram._window_bytes) <= 8

@@ -1,0 +1,93 @@
+"""Unit tests for the energy model."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.energy import EnergyParams, compute_energy
+
+
+def energy(**kw):
+    defaults = dict(
+        num_cores=16,
+        with_aim=False,
+        cycles=0,
+        l1_accesses=0,
+        llc_accesses=0,
+        aim_accesses=0,
+        metadata_ops=0,
+        dram_bytes=0,
+        flit_hops=0,
+    )
+    defaults.update(kw)
+    return compute_energy(EnergyParams(), **defaults)
+
+
+class TestEnergyParams:
+    def test_negative_constant_rejected(self):
+        with pytest.raises(ConfigError):
+            EnergyParams(l1_access_nj=-1)
+
+    def test_zero_clock_rejected(self):
+        with pytest.raises(ConfigError):
+            EnergyParams(clock_ghz=0)
+
+    def test_static_power_scales_with_cores(self):
+        params = EnergyParams()
+        assert params.static_nj_per_cycle(32, False) == pytest.approx(
+            2 * params.static_nj_per_cycle(16, False)
+        )
+
+    def test_aim_leakage_only_when_present(self):
+        params = EnergyParams()
+        with_aim = params.static_nj_per_cycle(16, True)
+        without = params.static_nj_per_cycle(16, False)
+        assert with_aim > without
+
+
+class TestComputeEnergy:
+    def test_zero_counts_zero_energy(self):
+        assert energy().total_nj == 0.0
+
+    def test_components_are_linear(self):
+        e1 = energy(l1_accesses=100)
+        e2 = energy(l1_accesses=200)
+        assert e2.l1_nj == pytest.approx(2 * e1.l1_nj)
+
+    def test_dram_per_byte(self):
+        e = energy(dram_bytes=64)
+        assert e.dram_nj == pytest.approx(64 * EnergyParams().dram_nj_per_byte)
+
+    def test_total_is_sum(self):
+        e = energy(
+            cycles=1000,
+            l1_accesses=10,
+            llc_accesses=5,
+            aim_accesses=2,
+            metadata_ops=7,
+            dram_bytes=64,
+            flit_hops=30,
+        )
+        parts = (
+            e.l1_nj + e.llc_nj + e.aim_nj + e.metadata_nj + e.dram_nj
+            + e.noc_nj + e.static_nj
+        )
+        assert e.total_nj == pytest.approx(parts)
+
+    def test_negative_cycles_rejected(self):
+        with pytest.raises(ValueError):
+            energy(cycles=-1)
+
+    def test_as_dict(self):
+        d = energy(l1_accesses=1).as_dict()
+        assert "l1_nj" in d and "total_nj" in d
+
+    def test_normalized_to(self):
+        base = energy(cycles=1000, l1_accesses=100)
+        other = energy(cycles=2000, l1_accesses=100)
+        norm = other.normalized_to(base)
+        assert norm["total"] > 1.0
+        assert norm["l1_nj"] == pytest.approx(base.l1_nj / base.total_nj)
+
+    def test_normalized_to_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            energy(l1_accesses=1).normalized_to(energy())

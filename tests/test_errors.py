@@ -1,0 +1,77 @@
+"""Tests for error types and conflict records."""
+
+import pytest
+
+from repro.common.errors import (
+    ConfigError,
+    ConflictRecord,
+    RegionConflictError,
+    ReproError,
+    SimulationError,
+    TraceError,
+)
+
+
+def record(**kw):
+    defaults = dict(
+        cycle=100,
+        line_addr=0x7000,
+        byte_mask=0xFF,
+        first_core=0,
+        second_core=1,
+        first_region=3,
+        second_region=5,
+        first_was_write=True,
+        second_was_write=True,
+        detected_by="fwd",
+    )
+    defaults.update(kw)
+    return ConflictRecord(**defaults)
+
+
+class TestHierarchyOfErrors:
+    @pytest.mark.parametrize(
+        "exc", [ConfigError, TraceError, SimulationError]
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        assert issubclass(exc, Exception)
+
+    def test_region_conflict_error_is_repro_error(self):
+        assert issubclass(RegionConflictError, ReproError)
+
+
+class TestConflictRecord:
+    def test_kind_ww(self):
+        assert record().kind() == "W-W"
+
+    def test_kind_rw(self):
+        assert record(first_was_write=False).kind() == "R-W"
+
+    def test_kind_wr(self):
+        assert record(second_was_write=False).kind() == "W-R"
+
+    def test_frozen(self):
+        r = record()
+        with pytest.raises(AttributeError):
+            r.cycle = 5  # type: ignore[misc]
+
+
+class TestRegionConflictError:
+    def test_message_contents(self):
+        error = RegionConflictError(record())
+        text = str(error)
+        assert "W-W" in text
+        assert "0x7000" in text
+        assert "core 0 region 3" in text
+        assert "core 1 region 5" in text
+        assert "cycle 100" in text
+        assert "fwd" in text
+
+    def test_record_attached(self):
+        r = record()
+        assert RegionConflictError(r).record is r
+
+    def test_catchable_as_repro_error(self):
+        with pytest.raises(ReproError):
+            raise RegionConflictError(record())

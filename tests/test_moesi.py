@@ -1,0 +1,149 @@
+"""Tests for the MOESI variant (Owned state)."""
+
+import pytest
+
+from repro.common.config import ProtocolKind, SystemConfig
+from repro.core.api import compare_protocols, run_program
+from repro.core.machine import Machine
+from repro.protocols.base import E, M, O, S
+from repro.protocols.ce import CeProtocol
+from repro.protocols.mesi import MesiProtocol
+from repro.synth import build_workload
+
+LINE = 0x4000
+
+
+def make(proto_cls=MesiProtocol, **cfg_kw):
+    cfg = SystemConfig(
+        num_cores=4,
+        protocol="ce" if proto_cls is CeProtocol else "mesi",
+        use_owned_state=True,
+        **cfg_kw,
+    )
+    machine = Machine(cfg)
+    return machine, proto_cls(machine)
+
+
+class TestOwnedState:
+    def test_read_from_modified_owner_enters_o(self):
+        machine, proto = make()
+        proto.access(0, LINE, 8, True, 0)      # M at core 0
+        proto.access(1, LINE, 8, False, 10)    # read
+        assert proto.l1[0].peek(LINE).state == O
+        assert proto.l1[1].peek(LINE).state == S
+        entry = proto.directory[LINE]
+        assert entry.owner == 0
+        assert entry.sharer_list() == [1]
+        # crucially: no LLC writeback happened — the LLC's copy (from the
+        # original miss fill) is still clean; the dirty data lives in O
+        bank = machine.home_bank(LINE)
+        llc_line = machine.llc_banks[bank].get(LINE, touch=False)
+        assert llc_line is not None and not llc_line.dirty
+
+    def test_owner_keeps_supplying_readers(self):
+        machine, proto = make()
+        proto.access(0, LINE, 8, True, 0)
+        proto.access(1, LINE, 8, False, 10)
+        forwards = machine.stats.forwards
+        proto.access(2, LINE, 8, False, 20)    # second reader
+        assert machine.stats.forwards == forwards + 1
+        assert proto.l1[0].peek(LINE).state == O
+        assert sorted(proto.directory[LINE].sharer_list()) == [1, 2]
+
+    def test_clean_exclusive_downgrades_to_s(self):
+        machine, proto = make()
+        proto.access(0, LINE, 8, False, 0)     # E (clean)
+        proto.access(1, LINE, 8, False, 10)
+        assert proto.l1[0].peek(LINE).state == S
+        assert proto.directory[LINE].owner == -1
+
+    def test_write_hit_in_o_upgrades_and_invalidates_sharers(self):
+        machine, proto = make()
+        proto.access(0, LINE, 8, True, 0)
+        proto.access(1, LINE, 8, False, 10)
+        proto.access(2, LINE, 8, False, 20)
+        proto.access(0, LINE, 8, True, 30)     # O -> M
+        assert proto.l1[0].peek(LINE).state == M
+        assert proto.l1[1].peek(LINE) is None
+        assert proto.l1[2].peek(LINE) is None
+        entry = proto.directory[LINE]
+        assert entry.owner == 0 and entry.sharers == 0
+
+    def test_sharer_upgrade_invalidates_the_owner(self):
+        machine, proto = make()
+        proto.access(0, LINE, 8, True, 0)
+        proto.access(1, LINE, 8, False, 10)    # core0 O, core1 S
+        proto.access(1, LINE, 8, True, 20)     # S -> M at core 1
+        assert proto.l1[1].peek(LINE).state == M
+        assert proto.l1[0].peek(LINE) is None
+        assert proto.directory[LINE].owner == 1
+
+    def test_o_eviction_writes_back(self):
+        from repro.common.config import CacheConfig
+
+        machine, proto = make(l1=CacheConfig(size=256, assoc=2, line_size=64))
+        lines = [0x0, 0x80, 0x100]
+        proto.access(0, lines[0], 8, True, 0)
+        proto.access(1, lines[0], 8, False, 1)  # core0 -> O
+        proto.access(0, lines[1], 8, False, 2)
+        proto.access(0, lines[2], 8, False, 3)  # evicts the O line
+        assert machine.stats.l1_writebacks == 1
+        bank = machine.home_bank(lines[0])
+        assert machine.llc_banks[bank].contains(lines[0])
+        assert proto.directory[lines[0]].owner == -1
+
+    def test_write_miss_takes_over_from_o_owner(self):
+        machine, proto = make()
+        proto.access(0, LINE, 8, True, 0)
+        proto.access(1, LINE, 8, False, 10)    # core0 O, core1 S
+        proto.access(2, LINE, 8, True, 20)     # write miss
+        assert proto.l1[2].peek(LINE).state == M
+        assert proto.l1[0].peek(LINE) is None
+        assert proto.l1[1].peek(LINE) is None
+        assert proto.directory[LINE].owner == 2
+
+
+class TestMoesiTrafficAdvantage:
+    def test_fewer_llc_writebacks_on_producer_consumer(self):
+        """MOESI's whole point: read-after-write sharing stops paying a
+        writeback per downgrade."""
+        program = build_workload("stencil-ocean", num_threads=4, seed=1, scale=0.2)
+        mesi = run_program(SystemConfig(num_cores=4), program)
+        moesi = run_program(
+            SystemConfig(num_cores=4, use_owned_state=True), program
+        )
+        assert moesi.flit_hops < mesi.flit_hops
+        assert moesi.stats.accesses == mesi.stats.accesses
+
+
+class TestMoesiWithCe:
+    def test_conflicts_identical_under_moesi(self):
+        program = build_workload("racy-writers", num_threads=4, seed=1, scale=0.1)
+        base = run_program(SystemConfig(num_cores=4, protocol="ce"), program)
+        moesi = run_program(
+            SystemConfig(num_cores=4, protocol="ce", use_owned_state=True), program
+        )
+        assert base.num_conflicts > 0
+        assert moesi.num_conflicts > 0
+        base_lines = {c.line_addr for c in base.stats.conflicts}
+        moesi_lines = {c.line_addr for c in moesi.stats.conflicts}
+        assert base_lines == moesi_lines
+
+    def test_o_owner_conflict_checked_on_forward(self):
+        machine, proto = make(CeProtocol)
+        proto.access(0, LINE, 8, True, 0)      # write bits at core 0
+        proto.access(1, LINE, 8, False, 10)    # W-R conflict via fwd; core0 -> O
+        assert len(machine.stats.conflicts) == 1
+        assert machine.stats.conflicts[0].kind() == "W-R"
+        # core 0 still holds the line in O with its bits intact
+        assert proto.l1[0].peek(LINE).state == O
+
+    def test_conflict_free_suite_clean_under_moesi(self):
+        program = build_workload("false-sharing", num_threads=4, seed=1, scale=0.1)
+        comparison = compare_protocols(
+            SystemConfig(num_cores=4, use_owned_state=True),
+            program,
+            protocols=[ProtocolKind.CE, ProtocolKind.CEPLUS],
+        )
+        for proto, result in comparison.results.items():
+            assert result.num_conflicts == 0, proto

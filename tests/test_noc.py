@@ -1,0 +1,136 @@
+"""Unit and property tests for the mesh topology and network model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.config import NocConfig
+from repro.common.errors import ConfigError
+from repro.noc import DATA, REQ, MeshNetwork, MeshTopology, flits_for_payload
+
+
+class TestFlits:
+    @pytest.mark.parametrize(
+        "payload,flit,expected",
+        [(0, 16, 1), (1, 16, 2), (16, 16, 2), (64, 16, 5), (8, 8, 2)],
+    )
+    def test_sizing(self, payload, flit, expected):
+        assert flits_for_payload(payload, flit) == expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            flits_for_payload(-1, 16)
+
+
+class TestTopology:
+    def test_geometry(self):
+        topo = MeshTopology(4, 4)
+        assert topo.num_tiles == 16
+        # 2 directed links per edge; 4x4 mesh has 24 undirected edges
+        assert topo.num_links == 48
+
+    def test_coords(self):
+        topo = MeshTopology(4, 2)
+        assert topo.coords(0) == (0, 0)
+        assert topo.coords(5) == (1, 1)
+        with pytest.raises(ConfigError):
+            topo.coords(8)
+
+    def test_self_route_empty(self):
+        topo = MeshTopology(4, 4)
+        assert topo.route(5, 5) == ()
+        assert topo.hops(5, 5) == 0
+
+    def test_hops_are_manhattan(self):
+        topo = MeshTopology(4, 4)
+        for src in range(16):
+            for dst in range(16):
+                sx, sy = topo.coords(src)
+                dx, dy = topo.coords(dst)
+                assert topo.hops(src, dst) == abs(sx - dx) + abs(sy - dy)
+
+    def test_route_links_are_contiguous(self):
+        topo = MeshTopology(4, 4)
+        route = topo.route(0, 15)
+        tiles = [topo.links[route[0]][0]]
+        for link in route:
+            src, dst = topo.links[link]
+            assert src == tiles[-1]
+            tiles.append(dst)
+        assert tiles[0] == 0 and tiles[-1] == 15
+
+    def test_xy_routing_goes_x_first(self):
+        topo = MeshTopology(4, 4)
+        route = topo.route(0, 5)  # (0,0) -> (1,1)
+        first_src, first_dst = topo.links[route[0]]
+        # first hop changes the x coordinate
+        assert topo.coords(first_dst)[0] != topo.coords(first_src)[0]
+
+    def test_bad_dimensions(self):
+        with pytest.raises(ConfigError):
+            MeshTopology(0, 4)
+
+
+class TestNetwork:
+    def make(self, **kw):
+        return MeshNetwork(MeshTopology(4, 4), NocConfig(**kw))
+
+    def test_local_send_is_free(self):
+        net = self.make()
+        assert net.send(3, 3, 64, DATA, 0) == 0
+        assert net.total_flit_hops == 0
+        assert net.total_messages == 1
+
+    def test_latency_composition(self):
+        net = self.make()
+        # 0 -> 15 is 6 hops; ctrl message = 1 flit
+        assert net.send(0, 15, 0, REQ, 0) == 6 * 3
+        # data = 5 flits: pipelining adds flits-1
+        assert net.send(0, 15, 64, DATA, 0) == 6 * 3 + 4
+
+    def test_flit_hop_accounting_by_category(self):
+        net = self.make()
+        net.send(0, 1, 0, REQ, 0)   # 1 hop x 1 flit
+        net.send(0, 1, 64, DATA, 0)  # 1 hop x 5 flits
+        assert net.flit_hops_by_category[REQ] == 1
+        assert net.flit_hops_by_category[DATA] == 5
+        assert net.total_flit_hops == 6
+
+    def test_contention_penalty(self):
+        net = self.make(window_cycles=64, saturation_fraction=0.2,
+                        max_queue_penalty=40)
+        base = net.send(0, 3, 64, DATA, 0)
+        for _ in range(20):
+            last = net.send(0, 3, 64, DATA, 0)
+        assert last > base
+        assert net.queue_delay_cycles > 0
+        assert net.peak_link_utilization > 0.2
+
+    def test_saturation_counter(self):
+        net = self.make(window_cycles=16, saturation_fraction=0.5)
+        for _ in range(50):
+            net.send(0, 3, 64, DATA, 0)
+        assert net.saturated_link_windows > 0
+
+    def test_contention_fades_in_new_window(self):
+        net = self.make(window_cycles=64, saturation_fraction=0.2,
+                        max_queue_penalty=40)
+        for _ in range(30):
+            net.send(0, 3, 64, DATA, 0)
+        fresh = net.send(0, 3, 64, DATA, 10_000_000)
+        assert fresh == 3 * 3 + 4
+
+    def test_link_utilization_view(self):
+        net = self.make(window_cycles=100)
+        net.send(0, 1, 64, DATA, 0)
+        util = net.link_utilization(0)
+        assert util.max() == pytest.approx(5 / 100)
+        assert net.link_utilization(10_000_000).max() == 0.0
+
+    @given(st.integers(0, 15), st.integers(0, 15))
+    def test_send_latency_nonnegative_and_symmetricish(self, src, dst):
+        net = self.make()
+        latency = net.send(src, dst, 0, REQ, 0)
+        assert latency >= 0
+        if src != dst:
+            assert latency > 0

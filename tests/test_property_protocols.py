@@ -1,0 +1,137 @@
+"""Property-based tests over randomly generated small programs.
+
+Hypothesis generates little multithreaded programs and checks the
+invariants that must hold for *any* input:
+
+* every protocol completes and accounts for every access;
+* a single-threaded program never raises a region conflict;
+* threads touching disjoint lines never conflict;
+* all-read programs never conflict;
+* determinism: rerunning is bit-identical on the headline metrics.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import SystemConfig
+from repro.core.api import run_program
+from repro.trace import Program, TraceBuilder
+
+PROTOCOLS = ("mesi", "ce", "ce+", "arc")
+
+
+def build_thread(ops, base_addr, lock_id):
+    """ops: list of (op_code, offset) with op_code 0=read,1=write,2=region."""
+    builder = TraceBuilder()
+    for op_code, offset in ops:
+        if op_code == 0:
+            builder.read(base_addr + offset * 8, 8)
+        elif op_code == 1:
+            builder.write(base_addr + offset * 8, 8)
+        else:
+            builder.acquire(lock_id)
+            builder.release(lock_id)
+    return builder.build()
+
+
+ops_strategy = st.lists(
+    st.tuples(st.integers(0, 2), st.integers(0, 31)),
+    min_size=1,
+    max_size=60,
+)
+
+
+class TestSingleThread:
+    @given(ops=ops_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_never_conflicts(self, ops):
+        program = Program([build_thread(ops, 0x1000, lock_id=100)])
+        for proto in PROTOCOLS:
+            result = run_program(SystemConfig(num_cores=2, protocol=proto), program)
+            assert result.num_conflicts == 0, proto
+            expected = sum(1 for code, _ in ops if code < 2)
+            assert result.stats.accesses == expected
+
+
+class TestDisjointThreads:
+    @given(ops0=ops_strategy, ops1=ops_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_disjoint_lines_never_conflict(self, ops0, ops1):
+        # thread bases are 32*8 bytes apart * large factor: disjoint lines
+        program = Program(
+            [
+                build_thread(ops0, 0x10000, lock_id=100),
+                build_thread(ops1, 0x20000, lock_id=101),
+            ]
+        )
+        for proto in ("ce", "ce+", "arc"):
+            result = run_program(SystemConfig(num_cores=2, protocol=proto), program)
+            assert result.num_conflicts == 0, proto
+
+
+class TestReadOnlySharing:
+    @given(
+        offsets0=st.lists(st.integers(0, 31), min_size=1, max_size=40),
+        offsets1=st.lists(st.integers(0, 31), min_size=1, max_size=40),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_reads_never_conflict(self, offsets0, offsets1):
+        program = Program(
+            [
+                build_thread([(0, o) for o in offsets0], 0x1000, 100),
+                build_thread([(0, o) for o in offsets1], 0x1000, 101),
+            ]
+        )
+        for proto in ("ce", "ce+", "arc"):
+            result = run_program(SystemConfig(num_cores=2, protocol=proto), program)
+            assert result.num_conflicts == 0, proto
+
+
+class TestDeterminism:
+    @given(ops0=ops_strategy, ops1=ops_strategy, proto=st.sampled_from(PROTOCOLS))
+    @settings(max_examples=20, deadline=None)
+    def test_rerun_identical(self, ops0, ops1, proto):
+        program = Program(
+            [
+                build_thread(ops0, 0x1000, lock_id=100),
+                build_thread(ops1, 0x1000, lock_id=101),
+            ]
+        )
+        cfg = SystemConfig(num_cores=2, protocol=proto)
+        a = run_program(cfg, program)
+        b = run_program(cfg, program)
+        assert a.cycles == b.cycles
+        assert a.flit_hops == b.flit_hops
+        assert a.offchip_bytes == b.offchip_bytes
+        assert a.num_conflicts == b.num_conflicts
+
+
+class TestConflictGroundTruth:
+    @given(ops0=ops_strategy, ops1=ops_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_conflicts_only_on_truly_shared_written_lines(self, ops0, ops1):
+        """Any reported conflict must involve a line that both threads
+        touched with at least one write somewhere in the program."""
+        program = Program(
+            [
+                build_thread(ops0, 0x1000, lock_id=100),
+                build_thread(ops1, 0x1000, lock_id=101),
+            ]
+        )
+        # ground truth per 8-byte word
+        def words(ops, write_only):
+            return {
+                o for code, o in ops if code < 2 and (code == 1 or not write_only)
+            }
+
+        racy_words = (
+            (words(ops0, False) & words(ops1, True))
+            | (words(ops1, False) & words(ops0, True))
+        )
+        racy_lines = {0x1000 + (w * 8 // 64) * 64 for w in racy_words}
+        for proto in ("ce", "ce+", "arc"):
+            result = run_program(SystemConfig(num_cores=2, protocol=proto), program)
+            for record in result.stats.conflicts:
+                assert record.line_addr in racy_lines, proto

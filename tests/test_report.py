@@ -1,0 +1,73 @@
+"""Tests for shape checks, the report generator, and the CLI runners."""
+
+import pytest
+
+from repro.harness import REGISTRY, Settings, run_experiment
+from repro.harness.report import build_report, main as report_main
+from repro.harness.run import main as run_main
+from repro.harness.shapes import CHECKERS, ShapeCheck, run_checks
+
+QUICK = Settings.quick()
+
+
+class TestShapeChecks:
+    def test_every_checker_targets_a_registered_experiment(self):
+        assert set(CHECKERS) <= set(REGISTRY)
+
+    def test_unchecked_experiment_returns_empty(self):
+        assert run_checks("table1_system_config", []) == []
+
+    @pytest.mark.parametrize(
+        "exp_id", ["table3_conflicts", "abl_arc_lazy_clear", "abl_aim_writeback"]
+    )
+    def test_checks_pass_at_quick_preset(self, exp_id):
+        tables = run_experiment(exp_id, QUICK)
+        checks = run_checks(exp_id, tables)
+        assert checks, exp_id
+        for check in checks:
+            assert isinstance(check, ShapeCheck)
+            assert check.passed, (exp_id, check.claim, check.detail)
+
+
+class TestReport:
+    def test_build_report_subset(self):
+        text = build_report(QUICK, ["table1_system_config", "table3_conflicts"])
+        assert "# Experiment report" in text
+        assert "table3_conflicts" in text
+        assert "Shape checks passed" in text
+        assert "FAIL" not in text
+
+    def test_report_cli_writes_file(self, tmp_path):
+        out = tmp_path / "report.md"
+        rc = report_main(
+            ["--preset", "quick", "--out", str(out), "table1_system_config"]
+        )
+        assert rc == 0
+        assert "Table I" in out.read_text()
+
+
+class TestRunCli:
+    def test_list(self, capsys):
+        assert run_main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig_perf_16" in out
+        assert "table3_conflicts" in out
+
+    def test_no_args_lists(self, capsys):
+        assert run_main([]) == 0
+        assert "experiment id" in capsys.readouterr().out
+
+    def test_run_one(self, capsys):
+        assert run_main(["table1_system_config", "--preset", "quick"]) == 0
+        out = capsys.readouterr().out
+        assert "simulated system parameters" in out
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            run_main(["bogus", "--preset", "quick"])
+
+    def test_threads_override(self, capsys):
+        assert run_main(
+            ["table1_system_config", "--preset", "quick", "--threads", "8"]
+        ) == 0
+        assert "8 in-order" in capsys.readouterr().out

@@ -1,0 +1,150 @@
+"""Tests for RunResult/Comparison and the metadata table."""
+
+import pytest
+
+from repro.common.config import ProtocolKind, SystemConfig
+from repro.core.api import compare_protocols, run_program
+from repro.core.results import geomean
+from repro.protocols.metadata import AccessInfoTable, SpilledEntry
+from repro.synth import build_workload
+from repro.trace import Program, TraceBuilder
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    program = build_workload("lock-counter", num_threads=4, seed=1, scale=0.05)
+    return compare_protocols(SystemConfig(num_cores=4), program)
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geomean([3.0]) == 3.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+
+class TestComparison:
+    def test_has_all_protocols(self, comparison):
+        assert set(comparison.results) == {
+            ProtocolKind.MESI,
+            ProtocolKind.CE,
+            ProtocolKind.CEPLUS,
+            ProtocolKind.ARC,
+        }
+
+    def test_baseline_normalizes_to_one(self, comparison):
+        for metric in ("cycles", "flit_hops", "offchip_bytes", "energy_nj"):
+            assert comparison.normalized(metric)[ProtocolKind.MESI] == pytest.approx(1.0)
+
+    def test_named_helpers_agree(self, comparison):
+        assert comparison.normalized_runtime() == comparison.normalized("cycles")
+        assert comparison.normalized_energy() == comparison.normalized("energy_nj")
+        assert comparison.normalized_traffic() == comparison.normalized("flit_hops")
+        assert comparison.normalized_offchip() == comparison.normalized("offchip_bytes")
+
+    def test_missing_baseline_rejected(self, comparison):
+        from repro.core.results import Comparison
+
+        partial = Comparison(
+            program_name="x",
+            results={ProtocolKind.CE: comparison.results[ProtocolKind.CE]},
+        )
+        with pytest.raises(KeyError):
+            partial.baseline
+
+    def test_mesi_always_included(self):
+        program = Program([TraceBuilder().read(0).build()])
+        cmp = compare_protocols(
+            SystemConfig(num_cores=2), program, protocols=["arc"]
+        )
+        assert ProtocolKind.MESI in cmp.results
+        assert ProtocolKind.ARC in cmp.results
+
+    def test_summary_keys(self, comparison):
+        summary = comparison.baseline.summary()
+        for key in (
+            "cycles",
+            "l1_miss_rate",
+            "flit_hops",
+            "offchip_bytes",
+            "energy_nj",
+            "conflicts",
+            "aim_hit_rate",
+        ):
+            assert key in summary
+
+    def test_energy_positive(self, comparison):
+        for result in comparison.results.values():
+            assert result.energy().total_nj > 0
+
+    def test_flit_hops_by_category_sums(self, comparison):
+        result = comparison.baseline
+        assert sum(result.flit_hops_by_category().values()) == result.flit_hops
+
+
+class TestAccessInfoTable:
+    def test_upsert_merges_same_region(self):
+        table = AccessInfoTable()
+        table.upsert(0x40, 1, 0b1, 0, region=3)
+        entry = table.upsert(0x40, 1, 0b10, 0b100, region=3)
+        assert entry.read_mask == 0b11
+        assert entry.write_mask == 0b100
+
+    def test_upsert_resets_new_region(self):
+        table = AccessInfoTable()
+        table.upsert(0x40, 1, 0b1, 0, region=3)
+        entry = table.upsert(0x40, 1, 0b10, 0, region=4)
+        assert entry.read_mask == 0b10
+
+    def test_live_others_filters_and_reclaims(self):
+        table = AccessInfoTable()
+        table.upsert(0x40, 1, 0b1, 0, region=3)
+        table.upsert(0x40, 2, 0b1, 0, region=7)
+        current = {1: 3, 2: 8}  # core 2 moved on
+        live = table.live_others(0x40, core=0, current_region_of=current)
+        assert [(core, e.region) for core, e in live] == [(1, 3)]
+        # core 2's stale entry was reclaimed
+        assert table.get_line(0x40) is not None
+        assert 2 not in table.get_line(0x40)
+
+    def test_remove_cleans_empty_lines(self):
+        table = AccessInfoTable()
+        table.upsert(0x40, 1, 1, 0, region=0)
+        assert table.remove(0x40, 1).read_mask == 1
+        assert table.get_line(0x40) is None
+        assert table.remove(0x40, 1) is None
+        assert len(table) == 0
+
+    def test_conflicts_with(self):
+        entry = SpilledEntry(read_mask=0b0011, write_mask=0b1100, region=0)
+        assert entry.conflicts_with(0b0001, is_write=True) == 0b0001
+        assert entry.conflicts_with(0b0100, is_write=False) == 0b0100
+        assert entry.conflicts_with(0b0011, is_write=False) == 0
+        assert entry.conflicts_with(0b10000, is_write=True) == 0
+
+
+class TestRunProgramValidation:
+    def test_invalid_program_rejected(self):
+        import numpy as np
+
+        from repro.common.errors import TraceError
+        from repro.trace.events import EVENT_DTYPE, READ
+        from repro.trace.events import ThreadTrace
+
+        events = np.zeros(1, dtype=EVENT_DTYPE)
+        events[0] = (READ, 60, 8, -1, 0)  # straddles a line
+        program = Program([ThreadTrace(events)])
+        with pytest.raises(TraceError):
+            run_program(SystemConfig(num_cores=2), program)
+
+    def test_validation_can_be_skipped(self):
+        program = Program([TraceBuilder().read(0).build()])
+        result = run_program(SystemConfig(num_cores=2), program, validate=False)
+        assert result.stats.accesses == 1

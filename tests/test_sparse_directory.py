@@ -1,0 +1,125 @@
+"""Tests for the bounded (sparse) directory and its recalls."""
+
+import pytest
+
+from repro.common.config import ProtocolKind, SystemConfig
+from repro.common.errors import ConfigError
+from repro.core.api import compare_protocols, run_program
+from repro.core.machine import Machine
+from repro.protocols.ce import CeProtocol
+from repro.protocols.mesi import MesiProtocol
+from repro.synth import build_workload
+
+
+def make(proto_cls=MesiProtocol, entries=8, num_cores=4, **cfg_kw):
+    cfg = SystemConfig(
+        num_cores=num_cores,
+        protocol="ce" if proto_cls is CeProtocol else "mesi",
+        directory_entries_per_bank=entries,
+        **cfg_kw,
+    )
+    machine = Machine(cfg)
+    return machine, proto_cls(machine)
+
+
+def bank0_lines(machine, count):
+    """Distinct lines all homed at bank 0."""
+    stride = 64 * machine.cfg.num_banks
+    return [i * stride for i in range(count)]
+
+
+class TestConfig:
+    def test_too_small_rejected(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(directory_entries_per_bank=4)
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(directory_entries_per_bank=100)
+
+    def test_full_map_default(self):
+        machine = Machine(SystemConfig(num_cores=4))
+        assert MesiProtocol(machine).dir_store is None
+
+
+class TestRecalls:
+    def test_pressure_causes_recall(self):
+        machine, proto = make(entries=8)
+        lines = bank0_lines(machine, 10)
+        for i, line in enumerate(lines):
+            proto.access(0, line, 8, False, i * 10)
+        assert machine.stats.directory_recalls > 0
+
+    def test_recall_invalidates_cached_copies(self):
+        machine, proto = make(entries=8)
+        lines = bank0_lines(machine, 9)
+        proto.access(1, lines[0], 8, False, 0)  # line 0 cached at core 1
+        for i, line in enumerate(lines[1:], start=1):
+            proto.access(0, line, 8, False, i * 10)
+        # the LRU dir entry (lines[0]) was recalled: core 1 lost its copy
+        assert machine.stats.directory_recalls >= 1
+        assert proto.l1[1].peek(lines[0]) is None
+
+    def test_recall_writes_back_dirty_owner(self):
+        machine, proto = make(entries=8)
+        lines = bank0_lines(machine, 9)
+        proto.access(1, lines[0], 8, True, 0)  # dirty at core 1
+        for i, line in enumerate(lines[1:], start=1):
+            proto.access(0, line, 8, False, i * 10)
+        bank = machine.home_bank(lines[0])
+        assert machine.llc_banks[bank].contains(lines[0])
+        assert proto.l1[1].peek(lines[0]) is None
+
+    def test_recalled_line_still_coherent_afterwards(self):
+        machine, proto = make(entries=8)
+        lines = bank0_lines(machine, 9)
+        proto.access(1, lines[0], 8, True, 0)
+        for i, line in enumerate(lines[1:], start=1):
+            proto.access(0, line, 8, False, i * 10)
+        # refetching the recalled line works and is exclusive again
+        proto.access(2, lines[0], 8, True, 1000)
+        from repro.protocols.base import M
+
+        assert proto.l1[2].peek(lines[0]).state == M
+
+
+class TestCeUnderPressure:
+    def test_recall_spills_live_access_bits(self):
+        machine, proto = make(CeProtocol, entries=8)
+        lines = bank0_lines(machine, 9)
+        proto.access(1, lines[0], 8, True, 0)  # live write bits at core 1
+        for i, line in enumerate(lines[1:], start=1):
+            proto.access(0, line, 8, False, i * 10)
+        assert machine.stats.directory_recalls >= 1
+        assert machine.stats.metadata_spills >= 1
+        # the spilled bits still catch a conflicting access
+        proto.access(2, lines[0], 8, True, 1000)
+        assert any(
+            c.first_core == 1 and c.detected_by == "meta-check"
+            for c in machine.stats.conflicts
+        )
+
+    def test_conflict_free_workload_stays_clean_under_pressure(self):
+        cfg = SystemConfig(num_cores=4, directory_entries_per_bank=64)
+        program = build_workload("false-sharing", num_threads=4, seed=1, scale=0.1)
+        comparison = compare_protocols(
+            cfg, program, protocols=[ProtocolKind.CE, ProtocolKind.CEPLUS]
+        )
+        for proto, result in comparison.results.items():
+            assert result.num_conflicts == 0, proto
+
+    def test_sparse_directory_costs_traffic(self):
+        program = build_workload(
+            "dataparallel-blackscholes", num_threads=4, seed=1, scale=0.2
+        )
+        full = run_program(SystemConfig(num_cores=4, protocol="ce"), program)
+        sparse = run_program(
+            SystemConfig(
+                num_cores=4, protocol="ce", directory_entries_per_bank=64
+            ),
+            program,
+        )
+        assert sparse.stats.directory_recalls > 0
+        assert full.stats.directory_recalls == 0
+        assert sparse.stats.invalidations_sent > full.stats.invalidations_sent
+        assert sparse.stats.metadata_spills >= full.stats.metadata_spills

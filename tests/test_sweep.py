@@ -1,0 +1,49 @@
+"""Tests for the generic parameter-sweep helper."""
+
+from dataclasses import replace
+
+from repro.common.config import AimConfig, SystemConfig
+from repro.harness.sweep import SweepPoint, series, sweep
+from repro.synth import build_workload
+
+
+class TestSweep:
+    def test_aim_size_sweep(self):
+        program = build_workload(
+            "dataparallel-blackscholes", num_threads=4, seed=1, scale=0.1
+        )
+        base = SystemConfig(num_cores=4, protocol="ce+")
+        points = sweep(
+            values=[16, 64],
+            make_config=lambda kb: replace(base, aim=AimConfig(size=kb * 1024)),
+            make_program=lambda _kb: program,
+        )
+        assert len(points) == 2
+        assert all(isinstance(p, SweepPoint) for p in points)
+        assert points[0].value == 16
+        assert points[0].result.cycles > 0
+
+    def test_series_extraction(self):
+        program = build_workload("lock-counter", num_threads=2, seed=1, scale=0.05)
+        points = sweep(
+            values=["mesi", "arc"],
+            make_config=lambda proto: SystemConfig(num_cores=2, protocol=proto),
+            make_program=lambda _p: program,
+        )
+        xy = series(points, "cycles")
+        assert [x for x, _ in xy] == ["mesi", "arc"]
+        assert all(y > 0 for _, y in xy)
+
+    def test_program_axis(self):
+        cfg = SystemConfig(num_cores=2)
+        points = sweep(
+            values=[0.05, 0.1],
+            make_config=lambda _s: cfg,
+            make_program=lambda s: build_workload(
+                "lock-counter", num_threads=2, seed=1, scale=s
+            ),
+        )
+        assert points[1].metric("cycles") > points[0].metric("cycles")
+
+    def test_empty_sweep(self):
+        assert sweep([], lambda v: None, lambda v: None) == []

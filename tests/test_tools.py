@@ -1,0 +1,175 @@
+"""Tests for the CLI tools (inspect, trace_dump)."""
+
+import pytest
+
+from repro.tools.inspect import (
+    characteristics_table,
+    load_target,
+    main as inspect_main,
+    per_thread_table,
+    region_histogram,
+)
+from repro.tools.trace_dump import main as dump_main
+from repro.synth import build_workload
+from repro.trace.io import save_program
+
+
+class TestLoadTarget:
+    def test_by_name(self):
+        program = load_target("lock-counter", 4, 1, 0.05)
+        assert program.name == "lock-counter"
+        assert program.num_threads == 4
+
+    def test_from_npz(self, tmp_path):
+        original = build_workload("false-sharing", num_threads=4, seed=1, scale=0.05)
+        path = tmp_path / "wl.npz"
+        save_program(original, path)
+        loaded = load_target(str(path), 99, 99, 99.0)  # params ignored for files
+        assert loaded.num_threads == 4
+
+
+class TestTables:
+    @pytest.fixture(scope="class")
+    def program(self):
+        return build_workload("pipeline-ferret", num_threads=4, seed=1, scale=0.05)
+
+    def test_characteristics(self, program):
+        table = characteristics_table(program)
+        rows = table.row_dict("characteristic")
+        assert rows["threads"]["value"] == 4
+        assert rows["accesses"]["value"] > 0
+
+    def test_histogram_shares_sum_to_one(self, program):
+        table = region_histogram(program)
+        assert table.rows
+        assert sum(table.column("share")) == pytest.approx(1.0)
+
+    def test_histogram_empty_program(self):
+        from repro.trace import Program, TraceBuilder
+
+        table = region_histogram(Program([TraceBuilder().build()]))
+        assert table.rows == []
+
+    def test_per_thread(self, program):
+        table = per_thread_table(program)
+        assert len(table.rows) == 4
+        assert table.column("thread") == [0, 1, 2, 3]
+
+
+class TestCli:
+    def test_inspect_list(self, capsys):
+        assert inspect_main(["--list"]) == 0
+        assert "lock-counter" in capsys.readouterr().out
+
+    def test_inspect_workload(self, capsys):
+        assert inspect_main(["lock-counter", "--threads", "4", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "Workload: lock-counter" in out
+        assert "Region length histogram" in out
+
+    def test_dump_window(self, capsys):
+        assert dump_main(
+            ["lock-counter", "--threads", "4", "--scale", "0.05", "--limit", "10"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "thread 0" in out
+        assert "acquire" in out
+
+    def test_dump_bad_thread(self):
+        with pytest.raises(SystemExit):
+            dump_main(["lock-counter", "--threads", "4", "--thread", "9"])
+
+
+class TestParseParams:
+    from repro.tools.inspect import parse_params
+
+    def test_coercion(self):
+        from repro.tools.inspect import parse_params
+
+        params = parse_params(["rounds=5", "scaleish=0.5", "flag=true", "name=abc"])
+        assert params == {"rounds": 5, "scaleish": 0.5, "flag": True, "name": "abc"}
+
+    def test_none_is_empty(self):
+        from repro.tools.inspect import parse_params
+
+        assert parse_params(None) == {}
+
+    def test_bad_item_rejected(self):
+        from repro.tools.inspect import parse_params
+
+        import pytest as _pytest
+
+        with _pytest.raises(SystemExit):
+            parse_params(["oops"])
+
+
+class TestHeatmap:
+    def test_render_marks_hotspot(self):
+        import numpy as np
+
+        from repro.noc.topology import MeshTopology
+        from repro.tools.heatmap import render_heatmap
+
+        topo = MeshTopology(2, 2)
+        flits = np.zeros(topo.num_links)
+        # load only the 0<->1 links
+        flits[topo.route(0, 1)[0]] = 100
+        flits[topo.route(1, 0)[0]] = 100
+        art = render_heatmap(topo, flits)
+        assert "@@@" in art           # hot horizontal link
+        assert "[ 0]" in art and "[ 3]" in art
+        assert "shade ramp" in art
+
+    def test_cli_runs(self, capsys):
+        from repro.tools.heatmap import main
+
+        rc = main(
+            ["lock-counter", "--protocol", "arc", "--threads", "4",
+             "--scale", "0.05"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "flit-hops" in out
+        assert "[ 0]" in out
+
+    def test_cli_with_params(self, capsys):
+        from repro.tools.heatmap import main
+
+        rc = main(
+            ["false-sharing", "--protocol", "mesi", "--threads", "4",
+             "--scale", "0.05", "--param", "bank_concentrate=true"]
+        )
+        assert rc == 0
+        assert "mesh" in capsys.readouterr().out
+
+
+class TestWsProfile:
+    def test_miss_rate_monotone_in_size(self):
+        from repro.tools.wsprofile import miss_rate
+
+        program = build_workload(
+            "dataparallel-blackscholes", num_threads=4, seed=1, scale=0.2
+        )
+        rates = [miss_rate(program, kb) for kb in (4, 32, 256)]
+        assert rates[0] >= rates[1] >= rates[2]
+        assert 0.0 < rates[0] <= 1.0
+
+    def test_profile_table(self):
+        from repro.tools.wsprofile import profile_table
+
+        program = build_workload("lock-counter", num_threads=2, seed=1, scale=0.05)
+        table = profile_table(program, sizes_kb=(4, 64))
+        assert table.column("cache size") == ["4KB", "64KB"]
+        assert all(0 <= r <= 1 for r in table.column("miss rate"))
+
+    def test_cli(self, capsys):
+        from repro.tools.wsprofile import main
+
+        rc = main(
+            ["migratory-token", "--threads", "2", "--scale", "0.05",
+             "--sizes", "8,64"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Working-set profile" in out
+        assert "8KB" in out

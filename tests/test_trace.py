@@ -1,0 +1,218 @@
+"""Unit tests for the trace substrate: events, builder, regions, program."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import TraceError
+from repro.trace import (
+    ACQUIRE,
+    BARRIER,
+    READ,
+    RELEASE,
+    WRITE,
+    Program,
+    ThreadTrace,
+    TraceBuilder,
+    region_ids,
+    region_lengths,
+    summarize_regions,
+)
+from repro.trace.events import EVENT_DTYPE
+
+
+class TestTraceBuilder:
+    def test_empty_build(self):
+        trace = TraceBuilder().build()
+        assert len(trace) == 0
+        assert trace.num_regions() == 0
+
+    def test_simple_sequence(self):
+        trace = TraceBuilder().read(0x100, 8).write(0x108, 4).build()
+        assert trace.kinds.tolist() == [READ, WRITE]
+        assert trace.addrs.tolist() == [0x100, 0x108]
+        assert trace.sizes.tolist() == [8, 4]
+
+    def test_sync_ids_default_minus_one_for_accesses(self):
+        trace = TraceBuilder().read(0).build()
+        assert trace.sync_ids.tolist() == [-1]
+
+    def test_straddling_access_is_split(self):
+        trace = TraceBuilder(line_size=64).read(60, 8).build()
+        assert len(trace) == 2
+        assert trace.addrs.tolist() == [60, 64]
+        assert trace.sizes.tolist() == [4, 4]
+
+    def test_gap_only_on_first_piece_of_split(self):
+        trace = TraceBuilder(line_size=64).read(60, 8, gap=7).build()
+        assert trace.gaps.tolist() == [7, 0]
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(TraceError):
+            TraceBuilder().read(0, 0)
+
+    def test_oversized_access_rejected(self):
+        with pytest.raises(TraceError):
+            TraceBuilder().write(0, 9)
+
+    def test_release_unheld_lock_rejected(self):
+        with pytest.raises(TraceError):
+            TraceBuilder().release(1)
+
+    def test_build_with_held_lock_rejected(self):
+        builder = TraceBuilder().acquire(1)
+        with pytest.raises(TraceError):
+            builder.build()
+
+    def test_barrier_under_lock_rejected(self):
+        builder = TraceBuilder().acquire(1)
+        with pytest.raises(TraceError):
+            builder.barrier(0)
+
+    def test_nested_locks(self):
+        trace = (
+            TraceBuilder()
+            .acquire(1)
+            .acquire(2)
+            .write(0)
+            .release(2)
+            .release(1)
+            .build()
+        )
+        assert trace.kinds.tolist() == [ACQUIRE, ACQUIRE, WRITE, RELEASE, RELEASE]
+
+    def test_critical_section_helper(self):
+        trace = TraceBuilder().critical_section(3, [("r", 0, 8), ("w", 8, 8)]).build()
+        assert trace.kinds.tolist() == [ACQUIRE, READ, WRITE, RELEASE]
+        assert trace.sync_ids.tolist()[0] == 3
+
+    def test_critical_section_bad_op(self):
+        with pytest.raises(TraceError):
+            TraceBuilder().critical_section(1, [("x", 0, 8)])
+
+
+class TestThreadTrace:
+    def test_from_arrays(self):
+        trace = ThreadTrace.from_arrays(
+            kinds=np.array([READ, WRITE]),
+            addrs=np.array([0, 8]),
+            sizes=np.array([8, 8]),
+            sync_ids=np.array([-1, -1]),
+        )
+        assert len(trace) == 2
+        assert trace.gaps.tolist() == [0, 0]
+
+    def test_from_arrays_length_mismatch(self):
+        with pytest.raises(TraceError):
+            ThreadTrace.from_arrays(
+                kinds=np.array([READ]),
+                addrs=np.array([0, 8]),
+                sizes=np.array([8]),
+                sync_ids=np.array([-1]),
+            )
+
+    def test_wrong_dtype_rejected(self):
+        with pytest.raises(TraceError):
+            ThreadTrace(np.zeros(3, dtype=np.int64))
+
+    def test_events_are_read_only(self):
+        trace = TraceBuilder().read(0).build()
+        with pytest.raises(ValueError):
+            trace.events["addr"][0] = 5
+
+    def test_statistics(self):
+        trace = (
+            TraceBuilder()
+            .read(0)
+            .write(8)
+            .acquire(1)
+            .write(16)
+            .release(1)
+            .build()
+        )
+        assert trace.num_accesses() == 3
+        assert trace.num_writes() == 2
+        assert trace.num_sync_ops() == 2
+        assert trace.num_regions() == 3
+
+    def test_touched_lines(self):
+        trace = TraceBuilder().read(0).read(63, 1).read(64).read(130).build()
+        assert trace.touched_lines(64).tolist() == [0, 64, 128]
+
+    def test_equality(self):
+        a = TraceBuilder().read(0).build()
+        b = TraceBuilder().read(0).build()
+        c = TraceBuilder().write(0).build()
+        assert a == b
+        assert a != c
+
+
+class TestRegions:
+    def test_region_ids_basic(self):
+        trace = (
+            TraceBuilder().read(0).acquire(1).write(8).release(1).read(16).build()
+        )
+        assert region_ids(trace).tolist() == [0, 1, 1, 2, 2]
+
+    def test_region_ids_empty(self):
+        assert region_ids(TraceBuilder().build()).tolist() == []
+
+    def test_region_lengths(self):
+        trace = (
+            TraceBuilder()
+            .read(0)
+            .read(8)
+            .acquire(1)
+            .write(16)
+            .release(1)
+            .build()
+        )
+        assert region_lengths(trace).tolist() == [2, 1, 0]
+
+    def test_summarize_regions(self):
+        trace = (
+            TraceBuilder()
+            .read(0)
+            .write(64)
+            .acquire(1)
+            .write(128)
+            .release(1)
+            .build()
+        )
+        summaries = summarize_regions(trace, thread=3, line_size=64)
+        assert len(summaries) == 3
+        assert summaries[0].num_accesses == 2
+        assert summaries[0].num_writes == 1
+        assert summaries[0].distinct_lines == 2
+        assert summaries[1].num_writes == 1
+        assert all(s.thread == 3 for s in summaries)
+
+
+class TestProgram:
+    def test_needs_a_thread(self):
+        with pytest.raises(TraceError):
+            Program([])
+
+    def test_barrier_participants_inferred(self):
+        t0 = TraceBuilder().barrier(0).build()
+        t1 = TraceBuilder().barrier(0).build()
+        t2 = TraceBuilder().read(0).build()
+        program = Program([t0, t1, t2])
+        assert program.barrier_participants == {0: frozenset({0, 1})}
+
+    def test_stats_counts(self):
+        t0 = TraceBuilder().read(0).write(8).build()
+        t1 = TraceBuilder().read(0).build()
+        stats = Program([t0, t1], name="w").stats(64)
+        assert stats.num_threads == 2
+        assert stats.num_accesses == 3
+        assert stats.num_writes == 1
+        assert stats.num_lines == 1
+        assert stats.shared_lines == 1
+        assert stats.shared_fraction == 1.0
+
+    def test_sharing_detection(self):
+        t0 = TraceBuilder().read(0).read(128).build()
+        t1 = TraceBuilder().read(0).read(256).build()
+        total, shared = Program([t0, t1]).line_sharing(64)
+        assert total == 3
+        assert shared == 1

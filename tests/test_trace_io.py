@@ -1,0 +1,58 @@
+"""Round-trip tests for program (de)serialization."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import TraceError
+from repro.trace import Program, TraceBuilder, load_program, save_program
+from repro.synth import build_workload
+
+
+class TestRoundTrip:
+    def test_small_program(self, tmp_path):
+        t0 = TraceBuilder().read(0).acquire(1).write(8).release(1).build()
+        t1 = TraceBuilder().barrier(2).read(64).barrier(2).build()
+        t2 = TraceBuilder().barrier(2).barrier(2).build()
+        original = Program([t0, t1, t2], name="roundtrip")
+        path = tmp_path / "prog.npz"
+        save_program(original, path)
+        loaded = load_program(path)
+        assert loaded.name == original.name
+        assert loaded.num_threads == 3
+        assert loaded.barrier_participants == {2: frozenset({1, 2})}
+        for a, b in zip(original.traces, loaded.traces):
+            assert a == b
+
+    def test_generated_workload(self, tmp_path):
+        original = build_workload("lock-counter", num_threads=4, seed=3, scale=0.05)
+        path = tmp_path / "wl.npz"
+        save_program(original, path)
+        loaded = load_program(path)
+        assert loaded.num_events() == original.num_events()
+        assert all(a == b for a, b in zip(original.traces, loaded.traces))
+
+    def test_not_an_archive(self, tmp_path):
+        path = tmp_path / "bogus.npz"
+        np.savez(path, data=np.arange(4))
+        with pytest.raises(TraceError, match="no meta"):
+            load_program(path)
+
+    def test_missing_thread_array(self, tmp_path):
+        t0 = TraceBuilder().read(0).build()
+        program = Program([t0], name="x")
+        path = tmp_path / "p.npz"
+        save_program(program, path)
+        # Corrupt: rewrite with meta claiming two threads.
+        import json
+
+        with np.load(path) as archive:
+            meta = json.loads(bytes(archive["meta"]).decode())
+            thread0 = archive["thread_0"]
+        meta["num_threads"] = 2
+        np.savez(
+            path,
+            meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8).copy(),
+            thread_0=thread0,
+        )
+        with pytest.raises(TraceError, match="missing thread_1"):
+            load_program(path)

@@ -1,0 +1,103 @@
+"""Unit tests for repro.common.units."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigError
+from repro.common.units import format_size, is_power_of_two, log2_exact, parse_size
+
+
+class TestParseSize:
+    def test_plain_int_passthrough(self):
+        assert parse_size(64) == 64
+        assert parse_size(0) == 0
+
+    def test_plain_string_number(self):
+        assert parse_size("128") == 128
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("1KB", 1024),
+            ("32KB", 32 * 1024),
+            ("32kb", 32 * 1024),
+            ("2MB", 2 * 1024**2),
+            ("1GiB", 1024**3),
+            ("512KiB", 512 * 1024),
+            ("4K", 4096),
+            ("  8KB  ", 8192),
+        ],
+    )
+    def test_suffixes(self, text, expected):
+        assert parse_size(text) == expected
+
+    def test_fractional_whole_bytes(self):
+        assert parse_size("1.5KB") == 1536
+
+    def test_fractional_non_whole_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_size("1.0001KB")
+
+    @pytest.mark.parametrize("bad", ["", "KB", "-4KB", "4TB", "4 K B", "abc"])
+    def test_garbage_rejected(self, bad):
+        with pytest.raises(ConfigError):
+            parse_size(bad)
+
+    def test_negative_int_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_size(-1)
+
+    def test_bool_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_size(True)
+
+    def test_other_types_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_size(3.5)  # type: ignore[arg-type]
+
+
+class TestFormatSize:
+    @pytest.mark.parametrize(
+        "nbytes,expected",
+        [
+            (0, "0B"),
+            (63, "63B"),
+            (1024, "1KB"),
+            (32 * 1024, "32KB"),
+            (2 * 1024**2, "2MB"),
+            (3 * 1024**3, "3GB"),
+            (1536, "1536B"),  # not a whole KB multiple
+        ],
+    )
+    def test_formatting(self, nbytes, expected):
+        assert format_size(nbytes) == expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            format_size(-1)
+
+    @given(st.integers(min_value=0, max_value=2**40))
+    def test_roundtrip_through_parse(self, nbytes):
+        assert parse_size(format_size(nbytes)) == nbytes
+
+
+class TestPowersOfTwo:
+    def test_is_power_of_two(self):
+        assert is_power_of_two(1)
+        assert is_power_of_two(64)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(-2)
+        assert not is_power_of_two(3)
+
+    def test_log2_exact(self):
+        assert log2_exact(1) == 0
+        assert log2_exact(64) == 6
+
+    def test_log2_exact_rejects_non_power(self):
+        with pytest.raises(ConfigError):
+            log2_exact(48)
+
+    @given(st.integers(min_value=0, max_value=62))
+    def test_log2_roundtrip(self, exp):
+        assert log2_exact(1 << exp) == exp

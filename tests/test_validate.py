@@ -1,0 +1,93 @@
+"""Unit tests for trace/program validation."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import TraceError
+from repro.trace import Program, ThreadTrace, TraceBuilder, validate_program, validate_trace
+from repro.trace.events import ACQUIRE, BARRIER, EVENT_DTYPE, READ, RELEASE, WRITE
+
+
+def raw_trace(rows):
+    """Build a ThreadTrace from raw (kind, addr, size, sync, gap) tuples,
+    bypassing the builder's checks."""
+    events = np.zeros(len(rows), dtype=EVENT_DTYPE)
+    for i, (kind, addr, size, sync, gap) in enumerate(rows):
+        events[i] = (kind, addr, size, sync, gap)
+    return ThreadTrace(events)
+
+
+class TestValidateTrace:
+    def test_valid_trace_passes(self):
+        trace = TraceBuilder().read(0).acquire(1).write(8).release(1).build()
+        validate_trace(trace, 64)
+
+    def test_empty_trace_passes(self):
+        validate_trace(TraceBuilder().build(), 64)
+
+    def test_unknown_kind_rejected(self):
+        trace = raw_trace([(9, 0, 8, -1, 0)])
+        with pytest.raises(TraceError, match="unknown event kinds"):
+            validate_trace(trace, 64)
+
+    def test_zero_size_access_rejected(self):
+        trace = raw_trace([(READ, 0, 0, -1, 0)])
+        with pytest.raises(TraceError, match="access sizes"):
+            validate_trace(trace, 64)
+
+    def test_straddling_access_rejected(self):
+        trace = raw_trace([(WRITE, 60, 8, -1, 0)])
+        with pytest.raises(TraceError, match="straddles"):
+            validate_trace(trace, 64)
+
+    def test_sync_with_negative_id_rejected(self):
+        trace = raw_trace([(ACQUIRE, 0, 0, -1, 0)])
+        with pytest.raises(TraceError, match="negative sync id"):
+            validate_trace(trace, 64)
+
+    def test_access_with_sync_id_rejected(self):
+        trace = raw_trace([(READ, 0, 8, 3, 0)])
+        with pytest.raises(TraceError, match="sync id"):
+            validate_trace(trace, 64)
+
+    def test_release_unheld_rejected(self):
+        trace = raw_trace([(RELEASE, 0, 0, 1, 0)])
+        with pytest.raises(TraceError, match="not held"):
+            validate_trace(trace, 64)
+
+    def test_trailing_held_lock_rejected(self):
+        trace = raw_trace([(ACQUIRE, 0, 0, 1, 0)])
+        with pytest.raises(TraceError, match="ends holding"):
+            validate_trace(trace, 64)
+
+    def test_barrier_while_locked_rejected(self):
+        trace = raw_trace([(ACQUIRE, 0, 0, 1, 0), (BARRIER, 0, 0, 0, 0),
+                           (RELEASE, 0, 0, 1, 0)])
+        with pytest.raises(TraceError, match="holding locks"):
+            validate_trace(trace, 64)
+
+
+class TestValidateProgram:
+    def test_valid_program(self):
+        t0 = TraceBuilder().barrier(0).read(0).barrier(0).build()
+        t1 = TraceBuilder().barrier(0).write(64).barrier(0).build()
+        validate_program(Program([t0, t1]))
+
+    def test_unequal_barrier_counts_rejected(self):
+        t0 = TraceBuilder().barrier(0).barrier(0).build()
+        t1 = TraceBuilder().barrier(0).build()
+        with pytest.raises(TraceError, match="unequal episode counts"):
+            validate_program(Program([t0, t1]))
+
+    def test_participant_mismatch_rejected(self):
+        t0 = TraceBuilder().barrier(0).build()
+        t1 = TraceBuilder().barrier(0).build()
+        program = Program([t0, t1], barrier_participants={0: frozenset({0})})
+        with pytest.raises(TraceError, match="participants"):
+            validate_program(program)
+
+    def test_thread_index_in_message(self):
+        t0 = TraceBuilder().read(0).build()
+        t1 = raw_trace([(READ, 60, 8, -1, 0)])
+        with pytest.raises(TraceError, match="thread 1"):
+            validate_program(Program([t0, t1]))
