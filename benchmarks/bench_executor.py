@@ -1,0 +1,94 @@
+"""Executor verification benchmark: parallel == serial, cache => speedup.
+
+Times ``python -m repro.harness.run all --preset quick`` three ways —
+cold at ``--jobs 1``, cold at ``--jobs 4``, then warm at ``--jobs 4``
+against the populated cache — and asserts:
+
+* stdout is byte-identical across all three (the determinism contract);
+* the warm run is a real speedup over the cold serial run (every
+  simulation point served from the cache);
+* the manifest accounts for every point, all hits on the warm run.
+
+Run standalone (``python benchmarks/bench_executor.py``) for a timing
+report, or through pytest (it is also wired into the main suite as a
+slow test, see ``tests/test_executor.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+RUN = [sys.executable, "-m", "repro.harness.run", "all", "--preset", "quick"]
+
+
+def _invoke(cache_dir: str, jobs: int) -> tuple[str, float]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    start = time.perf_counter()
+    proc = subprocess.run(
+        RUN + ["--jobs", str(jobs), "--cache-dir", cache_dir],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    return proc.stdout, time.perf_counter() - start
+
+
+def bench_executor(min_speedup: float = 2.0) -> dict:
+    """Run the three-way comparison; return the timing/manifest summary."""
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as cache_dir:
+        serial_out, serial_s = _invoke(cache_dir, jobs=1)
+        # second cold run, different fan-out, same (already warm) cache
+        # would hide the parallel path — use a fresh cache for jobs=4
+        with tempfile.TemporaryDirectory(prefix="repro-bench-j4-") as cold_dir:
+            parallel_out, parallel_s = _invoke(cold_dir, jobs=4)
+        warm_out, warm_s = _invoke(cache_dir, jobs=4)
+        manifest = json.loads((Path(cache_dir) / "manifest.json").read_text())
+
+    assert parallel_out == serial_out, "--jobs 4 output differs from --jobs 1"
+    assert warm_out == serial_out, "cached output differs from computed output"
+    assert manifest["misses"] == 0, f"warm run recomputed {manifest['misses']} points"
+    assert manifest["hits"] == manifest["points"] > 0
+    speedup = serial_s / warm_s
+    assert speedup >= min_speedup, (
+        f"cache speedup {speedup:.1f}x below {min_speedup:.1f}x "
+        f"(cold {serial_s:.2f}s, warm {warm_s:.2f}s)"
+    )
+    return {
+        "serial_cold_s": serial_s,
+        "parallel_cold_s": parallel_s,
+        "warm_s": warm_s,
+        "speedup": speedup,
+        "points": manifest["points"],
+    }
+
+
+def test_bench_executor():
+    """Pytest entry: outputs identical, warm run at least 2x faster."""
+    bench_executor(min_speedup=2.0)
+
+
+def main() -> int:
+    summary = bench_executor(min_speedup=2.0)
+    print(
+        f"run all --preset quick: jobs=1 cold {summary['serial_cold_s']:.2f}s, "
+        f"jobs=4 cold {summary['parallel_cold_s']:.2f}s, "
+        f"jobs=4 warm {summary['warm_s']:.2f}s "
+        f"({summary['speedup']:.1f}x via {summary['points']} cache hits)"
+    )
+    print("outputs byte-identical across all three runs")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

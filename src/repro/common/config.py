@@ -13,6 +13,9 @@ paper's Table I ("simulated system parameters").
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import json
 import math
 from dataclasses import dataclass, field, replace
 from enum import Enum
@@ -349,3 +352,46 @@ class SystemConfig:
             ("CE metadata granularity", f"{self.metadata_bytes}B per line spill/fill"),
             ("Protocol", self.protocol.value),
         ]
+
+
+# --------------------------------------------------------------------------
+# stable fingerprints (result-cache keys, run manifests)
+# --------------------------------------------------------------------------
+
+
+def _canonical_value(value):
+    """Reduce a config value to canonical JSON-compatible data.
+
+    Only the value kinds that appear in config dataclasses are accepted;
+    anything else is an error rather than a silently unstable repr.
+    """
+    if isinstance(value, Enum):
+        return value.value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _canonical_value(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, (list, tuple)):
+        return [_canonical_value(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _canonical_value(v) for k, v in sorted(value.items())}
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise ConfigError(
+        f"cannot fingerprint config value of type {type(value).__name__}"
+    )
+
+
+def config_fingerprint(cfg: SystemConfig) -> str:
+    """Stable hex digest of a configuration's logical content.
+
+    Two configs hash equal iff every field (recursively, including the
+    nested cache/AIM/NoC/DRAM configs) is equal — the property the
+    on-disk result cache's keys rely on.  The digest is independent of
+    process, ``PYTHONHASHSEED`` and dataclass identity.
+    """
+    canonical = json.dumps(
+        _canonical_value(cfg), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

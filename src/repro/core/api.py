@@ -13,7 +13,7 @@ Most users need exactly two calls::
 
 from __future__ import annotations
 
-from collections.abc import Iterable
+from collections.abc import Callable, Iterable
 
 from ..common.config import ProtocolKind, SystemConfig
 from ..trace.program import Program
@@ -38,25 +38,43 @@ def run_program(
     return Simulator(cfg, program).run()
 
 
+#: maps (config, program) pairs to their results, order-preserving;
+#: see ``Executor.as_runner`` in :mod:`repro.harness.executor`
+Runner = Callable[[list[tuple[SystemConfig, Program]]], list[RunResult]]
+
+
 def compare_protocols(
     cfg: SystemConfig,
     program: Program,
     protocols: Iterable[ProtocolKind | str] = ALL_PROTOCOLS,
     *,
     validate: bool = True,
+    runner: Runner | None = None,
 ) -> Comparison:
     """Run ``program`` under several protocols on otherwise-identical
     hardware and return a :class:`Comparison` (normalized to MESI).
 
     Always includes MESI (the normalization baseline) even if absent
     from ``protocols``.
+
+    ``runner``, when given, executes the per-protocol simulations —
+    pass ``Executor(...).as_runner()`` to fan them out across worker
+    processes and/or serve them from the on-disk result cache.  It must
+    return one :class:`RunResult` per input pair, in input order; the
+    simulator is deterministic, so any conforming runner produces the
+    identical :class:`Comparison`.
     """
     kinds: list[ProtocolKind] = [ProtocolKind(p) for p in protocols]
     if ProtocolKind.MESI not in kinds:
         kinds.insert(0, ProtocolKind.MESI)
     if validate:
         validate_program(program, cfg.line_size)
-    results: dict[ProtocolKind, RunResult] = {}
-    for kind in kinds:
-        results[kind] = Simulator(cfg.with_protocol(kind), program).run()
+    if runner is not None:
+        pairs = [(cfg.with_protocol(kind), program) for kind in kinds]
+        results = dict(zip(kinds, runner(pairs)))
+    else:
+        results = {
+            kind: Simulator(cfg.with_protocol(kind), program).run()
+            for kind in kinds
+        }
     return Comparison(program_name=program.name, results=results)

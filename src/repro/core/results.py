@@ -5,6 +5,14 @@ the stats counters, the network's and DRAM's accounting — and computes
 derived metrics (energy, normalized ratios).  :class:`Comparison` holds
 the same program run under several protocols and produces the
 normalized-to-MESI numbers every figure reports.
+
+Results are **pickle transport**: the parallel executor ships them back
+from worker processes and the on-disk result cache stores them, so a
+:class:`RunResult` (and everything it references — :class:`Stats`,
+:class:`~repro.noc.network.MeshNetwork`, :class:`~repro.mem.dram.DramModel`)
+must round-trip through ``pickle`` without losing any field that
+:meth:`RunResult.summary` or :meth:`RunResult.energy` reads.  The
+round-trip tests in ``tests/test_results.py`` police this.
 """
 
 from __future__ import annotations
@@ -122,6 +130,18 @@ class Comparison:
         return {
             kind: result.summary()[metric] / base_value
             for kind, result in self.results.items()
+        }
+
+    def summaries(self) -> dict[str, dict[str, float]]:
+        """Full :meth:`RunResult.summary` of every run, keyed by protocol.
+
+        The flattened, order-independent view of a comparison — what
+        the determinism tests diff between serial, parallel and cached
+        executions.
+        """
+        return {
+            kind.value: self.results[kind].summary()
+            for kind in sorted(self.results, key=lambda k: k.value)
         }
 
     def normalized_runtime(self) -> dict[ProtocolKind, float]:

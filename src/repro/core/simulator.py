@@ -248,7 +248,10 @@ class Simulator:
         if episode.arrived == participants:
             depart = episode.latest + SYNC_OP_CYCLES
             del self._barriers[barrier_id]
-            for member in participants:
+            # Wake in sorted core order: set iteration order must never
+            # leak into the schedule (ties in the heap break by core id,
+            # and runs must be reproducible across processes).
+            for member in sorted(participants):
                 # The post-barrier region starts at departure, not at the
                 # member's (possibly much earlier) arrival.
                 self.protocol.rebase_region_start(member, depart)
@@ -269,8 +272,14 @@ class Simulator:
     # -- diagnostics ------------------------------------------------------------------------
 
     def _raise_deadlock(self) -> None:
+        # Sorted iteration throughout: the diagnostic must render
+        # identically across processes and hash seeds so parallel and
+        # serial harness runs report byte-identical errors.
+        at_barrier = set()
+        for barrier_id in sorted(self._barriers):
+            at_barrier.update(self._barriers[barrier_id].arrived)
         waiting = [
-            (core, "barrier" if any(core in ep.arrived for ep in self._barriers.values()) else "lock")
+            (core, "barrier" if core in at_barrier else "lock")
             for core in range(self.program.num_threads)
             if self._blocked[core]
         ]

@@ -1,30 +1,45 @@
-"""Experiment harness: registry of paper tables/figures, sweeps, rendering."""
+"""Experiment harness: registry of paper tables/figures, sweeps, rendering,
+parallel execution and the on-disk result cache."""
 
 from .charts import chartable, render_bars
+from .executor import Executor, Manifest, SimPoint, WorkloadSpec, program_digest
 from .experiments import (
     REGISTRY,
     Experiment,
     Settings,
     clear_comparison_cache,
+    get_executor,
     run_experiment,
+    set_executor,
 )
 from .multiseed import SeedStats, aggregate_normalized, multiseed_table
+from .result_cache import ResultCache, default_cache_dir, point_key
 from .shapes import ShapeCheck, run_checks
 from .sweep import SweepPoint, series, sweep
 from .tables import TextTable
 
 __all__ = [
+    "Executor",
     "Experiment",
+    "Manifest",
+    "ResultCache",
     "SeedStats",
     "ShapeCheck",
+    "SimPoint",
+    "WorkloadSpec",
     "aggregate_normalized",
     "chartable",
     "clear_comparison_cache",
+    "default_cache_dir",
+    "get_executor",
     "multiseed_table",
+    "point_key",
+    "program_digest",
     "render_bars",
     "run_checks",
     "REGISTRY",
     "Settings",
+    "set_executor",
     "SweepPoint",
     "TextTable",
     "run_experiment",

@@ -1,0 +1,402 @@
+"""Parallel experiment execution with deterministic reassembly.
+
+The harness decomposes an experiment into independent *simulation
+points* — one :class:`SimPoint` per (config, workload) pair — and the
+:class:`Executor` fans them out across ``jobs`` worker processes,
+reassembling results **in submission order** so every table and chart is
+byte-identical to a serial run.  ``jobs=1`` is the serial path: points
+run in-process with no pool and no transport.
+
+A :class:`~repro.harness.result_cache.ResultCache` can sit under the
+executor: each point's key is a stable hash of its full config, its
+workload fingerprint and a package-version salt, hits skip simulation
+entirely, and the executor's :class:`Manifest` records every key with
+its timing and hit/miss status for auditability.
+
+Workloads are passed either as a :class:`WorkloadSpec` — a cheap,
+picklable recipe rebuilt inside the worker (preferred: on a cache hit
+the trace is never even generated) — or as a prebuilt
+:class:`~repro.trace.program.Program`, which is fingerprinted by its
+trace contents (the ``sweep()`` path, whose axes are arbitrary
+callables).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Sequence
+
+from ..common.config import ProtocolKind, SystemConfig
+from ..common.errors import ConfigError
+from ..core.api import ALL_PROTOCOLS
+from ..core.results import Comparison, RunResult
+from ..core.simulator import Simulator
+from ..synth.base import generate
+from ..trace.program import Program, ProgramStats
+from ..trace.validate import validate_program
+from .result_cache import ResultCache, point_key, stats_key
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A deterministic workload recipe (name + generator parameters).
+
+    Specs are tiny, picklable and hashable; workers rebuild the program
+    from the registry, which is deterministic in these fields (see
+    ``repro.synth.suite``).
+    """
+
+    name: str
+    num_threads: int
+    seed: int
+    scale: float
+    params: tuple[tuple[str, Any], ...] = ()
+
+    @classmethod
+    def make(
+        cls, name: str, *, num_threads: int, seed: int, scale: float, **params
+    ) -> "WorkloadSpec":
+        return cls(name, num_threads, seed, scale, tuple(sorted(params.items())))
+
+    def build(self) -> Program:
+        return generate(
+            self.name,
+            num_threads=self.num_threads,
+            seed=self.seed,
+            scale=self.scale,
+            **dict(self.params),
+        )
+
+    def fingerprint(self):
+        return {
+            "kind": "spec",
+            "name": self.name,
+            "num_threads": self.num_threads,
+            "seed": self.seed,
+            "scale": self.scale,
+            # params may hold tuples/bools; repr is stable for these
+            "params": [[k, repr(v)] for k, v in self.params],
+        }
+
+
+def program_digest(program: Program) -> str:
+    """Content digest of a prebuilt program's traces.
+
+    Hashes every trace column's dtype and raw bytes plus the barrier
+    participant sets, so two programs digest equal iff the simulator
+    would see identical event streams.
+    """
+    h = hashlib.sha256()
+    h.update(program.name.encode("utf-8"))
+    h.update(str(program.num_threads).encode("ascii"))
+    for trace in program.traces:
+        for column in (
+            trace.kinds, trace.addrs, trace.sizes, trace.sync_ids, trace.gaps
+        ):
+            h.update(str(column.dtype).encode("ascii"))
+            h.update(column.tobytes())
+    for bid in sorted(program.barrier_participants):
+        members = sorted(program.barrier_participants[bid])
+        h.update(f"b{bid}:{members}".encode("ascii"))
+    return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class SimPoint:
+    """One independent simulation: a config plus a workload."""
+
+    cfg: SystemConfig
+    workload: WorkloadSpec | Program
+
+    @property
+    def workload_name(self) -> str:
+        return self.workload.name
+
+    def build_program(self) -> Program:
+        if isinstance(self.workload, WorkloadSpec):
+            return self.workload.build()
+        return self.workload
+
+    def key(self) -> str:
+        if isinstance(self.workload, WorkloadSpec):
+            fingerprint = self.workload.fingerprint()
+        else:
+            fingerprint = {
+                "kind": "trace",
+                "name": self.workload.name,
+                "digest": program_digest(self.workload),
+            }
+        return point_key(self.cfg, fingerprint)
+
+
+def _simulate_point(point: SimPoint) -> tuple[RunResult, float]:
+    """Worker entry: build, validate and simulate one point.
+
+    Module-level so it pickles into worker processes.  Returns the
+    result plus the wall seconds it took (for the manifest).
+    """
+    start = time.perf_counter()
+    program = point.build_program()
+    validate_program(program, point.cfg.line_size)
+    result = Simulator(point.cfg, program).run()
+    return result, time.perf_counter() - start
+
+
+# --------------------------------------------------------------------------
+# run manifest
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class ManifestEntry:
+    """Audit record of one simulation point."""
+
+    key: str
+    workload: str
+    protocol: str
+    status: str  # "hit" | "miss" | "computed" (no cache attached)
+    seconds: float
+
+    def to_dict(self) -> dict:
+        return {
+            "key": self.key,
+            "workload": self.workload,
+            "protocol": self.protocol,
+            "status": self.status,
+            "seconds": round(self.seconds, 6),
+        }
+
+
+@dataclass
+class Manifest:
+    """Every point an executor ran: keys, timings, hit/miss."""
+
+    jobs: int = 1
+    cache_dir: str | None = None
+    entries: list[ManifestEntry] = field(default_factory=list)
+
+    @property
+    def hits(self) -> int:
+        return sum(1 for e in self.entries if e.status == "hit")
+
+    @property
+    def misses(self) -> int:
+        return sum(1 for e in self.entries if e.status != "hit")
+
+    def record(
+        self, key: str, workload: str, protocol: str, status: str, seconds: float
+    ) -> None:
+        self.entries.append(ManifestEntry(key, workload, protocol, status, seconds))
+
+    def to_dict(self) -> dict:
+        return {
+            "version": 1,
+            "jobs": self.jobs,
+            "cache_dir": self.cache_dir,
+            "points": len(self.entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "seconds": round(sum(e.seconds for e in self.entries), 6),
+            "entries": [e.to_dict() for e in self.entries],
+        }
+
+    def write(self, path: str | Path) -> Path:
+        import json
+
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        return path
+
+
+# --------------------------------------------------------------------------
+# the executor
+# --------------------------------------------------------------------------
+
+
+class Executor:
+    """Runs simulation points across processes, results in input order.
+
+    ``jobs=1`` (the default) executes in-process — the exact serial
+    code path the harness always had.  With ``jobs>1`` a
+    ``ProcessPoolExecutor`` is created lazily on first use and reused
+    across batches; call :meth:`close` (or use as a context manager)
+    to shut it down.
+    """
+
+    def __init__(self, jobs: int = 1, cache: ResultCache | None = None):
+        if jobs < 1:
+            raise ConfigError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.cache = cache
+        self.manifest = Manifest(
+            jobs=jobs, cache_dir=str(cache.root) if cache is not None else None
+        )
+        self._pool: ProcessPoolExecutor | None = None
+
+    # -- lifecycle -------------------------------------------------------
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            import multiprocessing
+
+            try:
+                context = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX platforms
+                context = multiprocessing.get_context()
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs, mp_context=context
+            )
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- execution -------------------------------------------------------
+
+    def run_points(self, points: Sequence[SimPoint]) -> list[RunResult]:
+        """Run every point; the i-th result belongs to the i-th point.
+
+        Cache hits are served without simulating; misses fan out across
+        the pool (or run serially for ``jobs=1``).  Reassembly is by
+        input index, so the output order never depends on worker timing.
+        """
+        points = list(points)
+        results: list[RunResult | None] = [None] * len(points)
+        records: list[tuple[str, str, str, str, float] | None] = [None] * len(points)
+        pending: list[tuple[int, SimPoint, str]] = []
+
+        for i, pt in enumerate(points):
+            key = pt.key()
+            if self.cache is not None:
+                start = time.perf_counter()
+                hit = self.cache.get(key)
+                if hit is not None:
+                    results[i] = hit
+                    records[i] = (
+                        key, pt.workload_name, pt.cfg.protocol.value, "hit",
+                        time.perf_counter() - start,
+                    )
+                    continue
+            pending.append((i, pt, key))
+
+        if pending:
+            status = "miss" if self.cache is not None else "computed"
+            if self.jobs == 1 or len(pending) == 1:
+                computed = [_simulate_point(pt) for _, pt, _ in pending]
+            else:
+                pool = self._ensure_pool()
+                futures = [pool.submit(_simulate_point, pt) for _, pt, _ in pending]
+                computed = [f.result() for f in futures]
+            for (i, pt, key), (result, seconds) in zip(pending, computed):
+                results[i] = result
+                if self.cache is not None:
+                    self.cache.put(key, result)
+                records[i] = (
+                    key, pt.workload_name, pt.cfg.protocol.value, status, seconds
+                )
+
+        for record in records:
+            assert record is not None
+            self.manifest.record(*record)
+        return results  # type: ignore[return-value]
+
+    def run(self, cfg: SystemConfig, workload: WorkloadSpec | Program) -> RunResult:
+        """Run one point (cache-aware single simulation)."""
+        return self.run_points([SimPoint(cfg, workload)])[0]
+
+    def workload_stats(
+        self, spec: WorkloadSpec, line_size: int = 64
+    ) -> ProgramStats:
+        """A workload's Table II characterization, served from the cache.
+
+        Stats depend only on the spec and line size; a hit skips even
+        generating the trace.  Recorded in the manifest like any other
+        point (protocol ``-``).
+        """
+        key = stats_key(spec.fingerprint(), line_size)
+        if self.cache is not None:
+            start = time.perf_counter()
+            hit = self.cache.get(key, expect=ProgramStats)
+            if hit is not None:
+                self.manifest.record(
+                    key, spec.name, "-", "hit", time.perf_counter() - start
+                )
+                return hit
+        start = time.perf_counter()
+        stats = spec.build().stats(line_size)
+        seconds = time.perf_counter() - start
+        if self.cache is not None:
+            self.cache.put(key, stats)
+            self.manifest.record(key, spec.name, "-", "miss", seconds)
+        else:
+            self.manifest.record(key, spec.name, "-", "computed", seconds)
+        return stats
+
+    def as_runner(self):
+        """Adapter for :func:`repro.core.api.compare_protocols`'s ``runner``."""
+
+        def runner(pairs: Sequence[tuple[SystemConfig, Program]]) -> list[RunResult]:
+            return self.run_points([SimPoint(c, p) for c, p in pairs])
+
+        return runner
+
+    # -- comparisons -----------------------------------------------------
+
+    @staticmethod
+    def _kinds(protocols) -> list[ProtocolKind]:
+        # mirror compare_protocols: MESI (the baseline) always included first
+        kinds = [ProtocolKind(p) for p in protocols]
+        if ProtocolKind.MESI not in kinds:
+            kinds.insert(0, ProtocolKind.MESI)
+        return kinds
+
+    def compare(
+        self,
+        cfg: SystemConfig,
+        workload: WorkloadSpec | Program,
+        protocols=ALL_PROTOCOLS,
+    ) -> Comparison:
+        """Run one workload under several protocols (points fan out)."""
+        return self.map_compare([(cfg, workload)], protocols=protocols)[0]
+
+    def map_compare(
+        self,
+        items: Sequence[tuple[SystemConfig, WorkloadSpec | Program]],
+        protocols=ALL_PROTOCOLS,
+    ) -> list[Comparison]:
+        """Batch comparisons: every (item × protocol) point runs at once.
+
+        This is the harness's main fan-out: a whole suite's worth of
+        simulations forms one flat batch, so parallelism is not limited
+        to the protocol count.
+        """
+        kinds = self._kinds(protocols)
+        points = [
+            SimPoint(cfg.with_protocol(kind), workload)
+            for cfg, workload in items
+            for kind in kinds
+        ]
+        flat = self.run_points(points)
+        comparisons = []
+        for index, (_, workload) in enumerate(items):
+            chunk = flat[index * len(kinds):(index + 1) * len(kinds)]
+            comparisons.append(
+                Comparison(
+                    program_name=workload.name,
+                    results=dict(zip(kinds, chunk)),
+                )
+            )
+        return comparisons

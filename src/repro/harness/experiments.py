@@ -16,9 +16,9 @@ from dataclasses import dataclass, field, replace
 from typing import Callable
 
 from ..common.config import AimConfig, ProtocolKind, SystemConfig
-from ..core.api import ALL_PROTOCOLS, compare_protocols, run_program
-from ..core.results import Comparison, RunResult, geomean
-from ..synth.suite import RACY_SUITE, SUITE, build_workload
+from ..core.results import Comparison, geomean
+from ..synth.suite import RACY_SUITE, SUITE
+from .executor import Executor, SimPoint, WorkloadSpec
 from .tables import TextTable
 
 DETECTORS = (ProtocolKind.CE, ProtocolKind.CEPLUS, ProtocolKind.ARC)
@@ -50,6 +50,16 @@ class Settings:
 
     def config(self, num_cores: int | None = None) -> SystemConfig:
         return SystemConfig(num_cores=num_cores or self.num_threads)
+
+    def spec(self, name: str, **params) -> WorkloadSpec:
+        """Workload recipe at these settings (executor/cache currency)."""
+        return WorkloadSpec.make(
+            name,
+            num_threads=self.num_threads,
+            seed=self.seed,
+            scale=self.scale,
+            **params,
+        )
 
 
 @dataclass(frozen=True)
@@ -89,9 +99,31 @@ def run_experiment(exp_id: str, settings: Settings | None = None) -> list[TextTa
 # shared helpers
 # --------------------------------------------------------------------------
 
+# Every simulation an experiment needs goes through the active executor,
+# which runs points across worker processes (``--jobs N``) and serves
+# repeats from the on-disk result cache.  The default is a serial,
+# cache-less executor — identical to running the simulator inline.
+_EXECUTOR: Executor | None = None
+
+
+def set_executor(executor: Executor | None) -> None:
+    """Install the executor experiments run through (None resets serial)."""
+    global _EXECUTOR
+    _EXECUTOR = executor
+
+
+def get_executor() -> Executor:
+    """The active executor (a serial one is created on first use)."""
+    global _EXECUTOR
+    if _EXECUTOR is None:
+        _EXECUTOR = Executor(jobs=1)
+    return _EXECUTOR
+
+
 # The performance, energy and traffic figures all run the identical
 # (workload, settings) comparisons; simulations are deterministic, so an
-# in-process memo cuts a full report's wall time by ~3x.
+# in-process memo cuts a full report's wall time by ~3x (on top of the
+# cross-invocation on-disk cache).
 _COMPARISON_CACHE: dict[tuple, Comparison] = {}
 _CACHE_LIMIT = 128
 
@@ -102,22 +134,28 @@ def clear_comparison_cache() -> None:
 
 
 def _suite_comparisons(settings: Settings, names=SUITE) -> dict[str, Comparison]:
+    """Comparisons for every named workload, fanned out as one batch."""
     cfg = settings.config()
     out: dict[str, Comparison] = {}
+    missing: list[str] = []
     for name in names:
         key = (name, settings.num_threads, settings.seed, settings.scale)
         comparison = _COMPARISON_CACHE.get(key)
         if comparison is None:
-            program = build_workload(
-                name, num_threads=settings.num_threads, seed=settings.seed,
-                scale=settings.scale,
-            )
-            comparison = compare_protocols(cfg, program)
+            missing.append(name)
+        else:
+            out[name] = comparison
+    if missing:
+        computed = get_executor().map_compare(
+            [(cfg, settings.spec(name)) for name in missing]
+        )
+        for name, comparison in zip(missing, computed):
             if len(_COMPARISON_CACHE) >= _CACHE_LIMIT:
                 _COMPARISON_CACHE.clear()
+            key = (name, settings.num_threads, settings.seed, settings.scale)
             _COMPARISON_CACHE[key] = comparison
-        out[name] = comparison
-    return out
+            out[name] = comparison
+    return {name: out[name] for name in names}
 
 
 def _normalized_table(
@@ -179,11 +217,7 @@ def table2_workloads(settings: Settings) -> list[TextTable]:
         ],
     )
     for name in SUITE + RACY_SUITE:
-        program = build_workload(
-            name, num_threads=settings.num_threads, seed=settings.seed,
-            scale=settings.scale,
-        )
-        stats = program.stats()
+        stats = get_executor().workload_stats(settings.spec(name))
         table.add_row(
             name,
             stats.num_threads,
@@ -398,15 +432,23 @@ def fig_offchip_traffic(settings: Settings) -> list[TextTable]:
 )
 def fig_aim_sensitivity(settings: Settings) -> list[TextTable]:
     # The metadata-heavy workload: large regions whose footprint spills.
-    program = build_workload(
-        "dataparallel-blackscholes",
-        num_threads=settings.num_threads,
-        seed=settings.seed,
-        scale=settings.scale,
-    )
+    spec = settings.spec("dataparallel-blackscholes")
     base_cfg = settings.config()
-    baseline = run_program(base_cfg, program)
-    ce_result = run_program(base_cfg.with_protocol(ProtocolKind.CE), program)
+    sizes = (16, 32, 64, 128, 256, 512)
+    points = [
+        SimPoint(base_cfg, spec),
+        SimPoint(base_cfg.with_protocol(ProtocolKind.CE), spec),
+    ] + [
+        SimPoint(
+            replace(
+                base_cfg.with_protocol(ProtocolKind.CEPLUS),
+                aim=AimConfig(size=kb * 1024),
+            ),
+            spec,
+        )
+        for kb in sizes
+    ]
+    baseline, ce_result, *ceplus_results = get_executor().run_points(points)
 
     table = TextTable(
         "CE+ sensitivity to AIM capacity (dataparallel-blackscholes)",
@@ -418,12 +460,7 @@ def fig_aim_sensitivity(settings: Settings) -> list[TextTable]:
         0.0,
         ce_result.offchip_metadata_bytes,
     )
-    for kb in (16, 32, 64, 128, 256, 512):
-        cfg = replace(
-            base_cfg.with_protocol(ProtocolKind.CEPLUS),
-            aim=AimConfig(size=kb * 1024),
-        )
-        result = run_program(cfg, program)
+    for kb, result in zip(sizes, ceplus_results):
         table.add_row(
             f"{kb}KB",
             result.cycles / baseline.cycles,
@@ -445,19 +482,22 @@ def fig_region_length(settings: Settings) -> list[TextTable]:
     )
     total_reads = 4800
     total_writes = 1600
-    for phases in (1, 2, 4, 8, 16):
-        program = build_workload(
+    phase_counts = (1, 2, 4, 8, 16)
+    specs = [
+        settings.spec(
             "dataparallel-blackscholes",
-            num_threads=settings.num_threads,
-            seed=settings.seed,
-            scale=settings.scale,
             phases=phases,
             reads_per_phase=total_reads // phases,
             writes_per_phase=total_writes // phases,
         )
-        comparison = compare_protocols(settings.config(), program)
+        for phases in phase_counts
+    ]
+    comparisons = get_executor().map_compare(
+        [(settings.config(), spec) for spec in specs]
+    )
+    for phases, spec, comparison in zip(phase_counts, specs, comparisons):
         normalized = comparison.normalized("cycles")
-        stats = program.stats()
+        stats = get_executor().workload_stats(spec)
         table.add_row(
             phases,
             stats.mean_region_length,
@@ -481,12 +521,10 @@ def table3_conflicts(settings: Settings) -> list[TextTable]:
         "Conflicts detected on racy workloads",
         ["workload", "protocol", "conflicts", "W-W", "R-W/W-R", "detection points"],
     )
-    for name in RACY_SUITE:
-        program = build_workload(
-            name, num_threads=settings.num_threads, seed=settings.seed,
-            scale=settings.scale,
-        )
-        comparison = compare_protocols(settings.config(), program)
+    comparisons = get_executor().map_compare(
+        [(settings.config(), settings.spec(name)) for name in RACY_SUITE]
+    )
+    for name, comparison in zip(RACY_SUITE, comparisons):
         for proto in (ProtocolKind.MESI,) + DETECTORS:
             result = comparison.results[proto]
             ww = sum(1 for c in result.stats.conflicts if c.kind() == "W-W")
@@ -509,7 +547,7 @@ def fig_network_saturation(settings: Settings) -> list[TextTable]:
     # Bank-concentrated false sharing with no private work: every
     # coherence transaction funnels through one tile's links, the
     # write-heavy worst case the paper's saturation discussion targets.
-    program = build_workload(
+    spec = WorkloadSpec.make(
         "false-sharing",
         num_threads=cores,
         seed=settings.seed,
@@ -531,7 +569,7 @@ def fig_network_saturation(settings: Settings) -> list[TextTable]:
             "queue cyc/kcycle",
         ],
     )
-    comparison = compare_protocols(cfg, program)
+    comparison = get_executor().compare(cfg, spec)
     base = comparison.baseline
     for proto in (ProtocolKind.MESI,) + DETECTORS:
         result = comparison.results[proto]
@@ -562,20 +600,25 @@ def abl_arc_lazy_clear(settings: Settings) -> list[TextTable]:
         ["workload", "variant", "cycles", "flit-hops", "clear msgs"],
     )
     cfg = settings.config().with_protocol(ProtocolKind.ARC)
-    for name in ("lock-counter", "migratory-token", "pipeline-ferret"):
-        program = build_workload(
-            name, num_threads=settings.num_threads, seed=settings.seed,
-            scale=settings.scale,
+    rows = [
+        (name, lazy)
+        for name in ("lock-counter", "migratory-token", "pipeline-ferret")
+        for lazy in (True, False)
+    ]
+    results = get_executor().run_points(
+        [
+            SimPoint(replace(cfg, arc_lazy_clear=lazy), settings.spec(name))
+            for name, lazy in rows
+        ]
+    )
+    for (name, lazy), result in zip(rows, results):
+        table.add_row(
+            name,
+            "lazy" if lazy else "explicit",
+            result.cycles,
+            result.flit_hops,
+            result.stats.arc_clear_messages,
         )
-        for lazy in (True, False):
-            result = run_program(replace(cfg, arc_lazy_clear=lazy), program)
-            table.add_row(
-                name,
-                "lazy" if lazy else "explicit",
-                result.cycles,
-                result.flit_hops,
-                result.stats.arc_clear_messages,
-            )
     return [table]
 
 
@@ -590,23 +633,29 @@ def abl_arc_write_through(settings: Settings) -> list[TextTable]:
         ["workload", "policy", "cycles", "flit-hops", "WT stores", "downgrades"],
     )
     base_cfg = settings.config().with_protocol(ProtocolKind.ARC)
-    for name in ("migratory-token", "pipeline-ferret", "false-sharing"):
-        program = build_workload(
-            name, num_threads=settings.num_threads, seed=settings.seed,
-            scale=settings.scale,
+    rows = [
+        (name, write_through)
+        for name in ("migratory-token", "pipeline-ferret", "false-sharing")
+        for write_through in (False, True)
+    ]
+    results = get_executor().run_points(
+        [
+            SimPoint(
+                replace(base_cfg, arc_write_through=write_through),
+                settings.spec(name),
+            )
+            for name, write_through in rows
+        ]
+    )
+    for (name, write_through), result in zip(rows, results):
+        table.add_row(
+            name,
+            "write-through" if write_through else "write-back",
+            result.cycles,
+            result.flit_hops,
+            result.stats.arc_write_throughs,
+            result.stats.self_downgrades,
         )
-        for write_through in (False, True):
-            result = run_program(
-                replace(base_cfg, arc_write_through=write_through), program
-            )
-            table.add_row(
-                name,
-                "write-through" if write_through else "write-back",
-                result.cycles,
-                result.flit_hops,
-                result.stats.arc_write_throughs,
-                result.stats.self_downgrades,
-            )
     return [table]
 
 
@@ -621,20 +670,25 @@ def abl_moesi(settings: Settings) -> list[TextTable]:
         ["workload", "variant", "cycles", "flit-hops", "downgrade writebacks"],
     )
     base_cfg = settings.config()  # MESI protocol
-    for name in ("stencil-ocean", "migratory-token", "readers-writers"):
-        program = build_workload(
-            name, num_threads=settings.num_threads, seed=settings.seed,
-            scale=settings.scale,
+    rows = [
+        (name, owned)
+        for name in ("stencil-ocean", "migratory-token", "readers-writers")
+        for owned in (False, True)
+    ]
+    results = get_executor().run_points(
+        [
+            SimPoint(replace(base_cfg, use_owned_state=owned), settings.spec(name))
+            for name, owned in rows
+        ]
+    )
+    for (name, owned), result in zip(rows, results):
+        table.add_row(
+            name,
+            "MOESI" if owned else "MESI",
+            result.cycles,
+            result.flit_hops,
+            result.stats.downgrade_writebacks,
         )
-        for owned in (False, True):
-            result = run_program(replace(base_cfg, use_owned_state=owned), program)
-            table.add_row(
-                name,
-                "MOESI" if owned else "MESI",
-                result.cycles,
-                result.flit_hops,
-                result.stats.downgrade_writebacks,
-            )
     return [table]
 
 
@@ -655,16 +709,16 @@ def abl_sparse_directory(settings: Settings) -> list[TextTable]:
             "offchip metadata bytes",
         ],
     )
-    program = build_workload(
-        "dataparallel-blackscholes",
-        num_threads=settings.num_threads,
-        seed=settings.seed,
-        scale=settings.scale,
-    )
+    spec = settings.spec("dataparallel-blackscholes")
     base_cfg = settings.config().with_protocol(ProtocolKind.CE)
-    for label, entries in (("full-map", None), ("1K/bank", 1024), ("256/bank", 256)):
-        cfg = replace(base_cfg, directory_entries_per_bank=entries)
-        result = run_program(cfg, program)
+    variants = (("full-map", None), ("1K/bank", 1024), ("256/bank", 256))
+    results = get_executor().run_points(
+        [
+            SimPoint(replace(base_cfg, directory_entries_per_bank=entries), spec)
+            for _, entries in variants
+        ]
+    )
+    for (label, _), result in zip(variants, results):
         stats = result.stats
         table.add_row(
             label,
@@ -696,12 +750,7 @@ def abl_private_l2(settings: Settings) -> list[TextTable]:
             "flit-hops",
         ],
     )
-    program = build_workload(
-        "dataparallel-blackscholes",
-        num_threads=settings.num_threads,
-        seed=settings.seed,
-        scale=settings.scale,
-    )
+    spec = settings.spec("dataparallel-blackscholes")
     base_cfg = settings.config().with_protocol(ProtocolKind.CE)
     configs = [
         ("L1 only", base_cfg),
@@ -713,8 +762,10 @@ def abl_private_l2(settings: Settings) -> list[TextTable]:
             ),
         ),
     ]
-    for label, cfg in configs:
-        result = run_program(cfg, program)
+    results = get_executor().run_points(
+        [SimPoint(cfg, spec) for _, cfg in configs]
+    )
+    for (label, _), result in zip(configs, results):
         stats = result.stats
         l2_rate = stats.l2_hits / stats.l2_accesses if stats.l2_accesses else 0.0
         table.add_row(
@@ -738,16 +789,16 @@ def abl_aim_writeback(settings: Settings) -> list[TextTable]:
         "CE+ AIM write policy (dataparallel-blackscholes)",
         ["policy", "cycles", "offchip metadata bytes", "AIM hit rate"],
     )
-    program = build_workload(
-        "dataparallel-blackscholes",
-        num_threads=settings.num_threads,
-        seed=settings.seed,
-        scale=settings.scale,
-    )
+    spec = settings.spec("dataparallel-blackscholes")
     base_cfg = settings.config().with_protocol(ProtocolKind.CEPLUS)
-    for write_through in (False, True):
-        cfg = replace(base_cfg, aim=AimConfig(write_through=write_through))
-        result = run_program(cfg, program)
+    policies = (False, True)
+    results = get_executor().run_points(
+        [
+            SimPoint(replace(base_cfg, aim=AimConfig(write_through=wt)), spec)
+            for wt in policies
+        ]
+    )
+    for write_through, result in zip(policies, results):
         table.add_row(
             "write-through" if write_through else "write-back",
             result.cycles,

@@ -5,6 +5,11 @@ several workload seeds measures how sensitive a result is to the
 generated trace.  ``aggregate_normalized`` runs the same comparison for
 each seed and reports mean, min and max of the normalized metric — the
 error bars a careful evaluation section would include.
+
+Every (seed × protocol) pair is an independent simulation point, so the
+whole aggregation is one executor batch: pass ``executor`` to fan it
+out and/or serve repeats from the result cache.  The default is the
+serial in-process path.
 """
 
 from __future__ import annotations
@@ -12,8 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..common.config import ProtocolKind, SystemConfig
-from ..core.api import compare_protocols
-from ..synth.base import generate
+from .executor import Executor, WorkloadSpec
 from .tables import TextTable
 
 
@@ -42,17 +46,30 @@ def aggregate_normalized(
         ProtocolKind.CEPLUS,
         ProtocolKind.ARC,
     ),
+    executor: Executor | None = None,
 ) -> dict[ProtocolKind, SeedStats]:
     """Run ``workload`` under every seed; aggregate ``metric`` vs MESI."""
     if not seeds:
         raise ValueError("at least one seed required")
     cfg = SystemConfig(num_cores=num_threads)
-    samples: dict[ProtocolKind, list[float]] = {p: [] for p in protocols}
-    for seed in seeds:
-        program = generate(
+    specs = [
+        WorkloadSpec.make(
             workload, num_threads=num_threads, seed=seed, scale=scale
         )
-        comparison = compare_protocols(cfg, program, protocols=protocols)
+        for seed in seeds
+    ]
+    owned = executor is None
+    if executor is None:
+        executor = Executor(jobs=1)
+    try:
+        comparisons = executor.map_compare(
+            [(cfg, spec) for spec in specs], protocols=protocols
+        )
+    finally:
+        if owned:
+            executor.close()
+    samples: dict[ProtocolKind, list[float]] = {p: [] for p in protocols}
+    for comparison in comparisons:
         normalized = comparison.normalized(metric)
         for proto in protocols:
             samples[proto].append(normalized[proto])

@@ -15,7 +15,9 @@ import sys
 import time
 from pathlib import Path
 
-from .experiments import REGISTRY, Settings, run_experiment
+from .executor import Executor
+from .experiments import REGISTRY, Settings, run_experiment, set_executor
+from .result_cache import ResultCache, default_cache_dir
 from .shapes import run_checks
 
 
@@ -68,6 +70,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--preset", choices=("full", "bench", "quick"), default="full"
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for simulation points (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="result-cache directory (default: ~/.cache/repro)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk result cache",
+    )
     parser.add_argument("experiments", nargs="*", help="subset of experiment ids")
     args = parser.parse_args(argv)
     settings = {
@@ -75,7 +89,18 @@ def main(argv: list[str] | None = None) -> int:
         "bench": Settings.bench,
         "quick": Settings.quick,
     }[args.preset]()
-    report = build_report(settings, args.experiments or None)
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir or default_cache_dir())
+    executor = Executor(jobs=args.jobs, cache=cache)
+    set_executor(executor)
+    try:
+        report = build_report(settings, args.experiments or None)
+    finally:
+        set_executor(None)
+        executor.close()
+    if cache is not None:
+        executor.manifest.write(cache.root / "manifest.json")
     args.out.write_text(report)
     print(f"wrote {args.out} ({len(report.splitlines())} lines)")
     return 0

@@ -1,0 +1,168 @@
+"""Content-addressed on-disk cache of simulation results.
+
+Every simulation point the executor runs is keyed by a stable SHA-256
+digest of (package salt, full config fingerprint, protocol kind,
+workload fingerprint); see :func:`point_key`.  A hit deserializes the
+:class:`~repro.core.results.RunResult` that an identical point produced
+earlier and skips the simulation entirely.
+
+Entries are self-verifying: each file stores a checksum line followed by
+the pickled payload, and the payload embeds its own key and salt.  A
+truncated, corrupted or stale-schema entry is *discarded and recomputed*
+— the cache can serve wrong-looking bytes only by producing a checksum
+collision, never by trusting them.
+
+Writes are atomic (temp file + ``os.replace``), so concurrent workers
+and concurrent harness invocations can share one cache directory.  The
+default location is ``~/.cache/repro`` (``$REPRO_CACHE_DIR`` and
+``$XDG_CACHE_HOME`` are honored).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+from .. import __version__
+from ..common.config import SystemConfig, config_fingerprint
+from ..core.results import RunResult
+
+#: bump when RunResult/Stats change shape in a way old entries can't satisfy
+CACHE_SCHEMA = 1
+
+#: version salt folded into every key: a new package or schema version
+#: invalidates the whole cache rather than serving stale results
+CACHE_SALT = f"repro/{__version__}/schema{CACHE_SCHEMA}"
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR``, else ``$XDG_CACHE_HOME/repro``, else ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro"
+
+
+def stats_key(workload_fingerprint, line_size: int) -> str:
+    """Stable cache key of one workload's characterization stats.
+
+    Program *stats* (Table II rows) depend only on the workload and the
+    line size, not on a system config — they get their own key space.
+    """
+    canonical = json.dumps(
+        {
+            "salt": CACHE_SALT,
+            "kind": "program-stats",
+            "line_size": line_size,
+            "workload": workload_fingerprint,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def point_key(cfg: SystemConfig, workload_fingerprint) -> str:
+    """Stable cache key of one (config, workload) simulation point.
+
+    ``workload_fingerprint`` is JSON-compatible data identifying the
+    workload (a spec's fields, or a trace digest); the executor builds
+    it.  The protocol kind is part of the config fingerprint already but
+    is spelled out explicitly so keys stay debuggable in the manifest.
+    """
+    canonical = json.dumps(
+        {
+            "salt": CACHE_SALT,
+            "config": config_fingerprint(cfg),
+            "protocol": cfg.protocol.value,
+            "workload": workload_fingerprint,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one :class:`ResultCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    discarded: int = 0
+
+
+class ResultCache:
+    """On-disk result store, sharded by the first key byte."""
+
+    def __init__(self, root: str | Path | None = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.stats = CacheStats()
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key[2:]}.pkl"
+
+    def get(self, key: str, expect: type = RunResult):
+        """Load a cached object, or None on miss/corruption.
+
+        ``expect`` is the payload type the caller will trust
+        (:class:`RunResult` for simulation points).  A corrupted entry —
+        bad checksum, unpicklable payload, key or salt mismatch, wrong
+        type — is deleted so the next run recomputes and overwrites it.
+        """
+        path = self.path_for(key)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            self.stats.misses += 1
+            return None
+        try:
+            checksum, payload = blob.split(b"\n", 1)
+            if hashlib.sha256(payload).hexdigest().encode("ascii") != checksum:
+                raise ValueError("checksum mismatch")
+            entry = pickle.loads(payload)
+            if entry["key"] != key or entry["salt"] != CACHE_SALT:
+                raise ValueError("key/salt mismatch")
+            result = entry["result"]
+            if not isinstance(result, expect):
+                raise ValueError(f"payload is not a {expect.__name__}")
+        except Exception:
+            self.stats.discarded += 1
+            self.stats.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.stats.hits += 1
+        return result
+
+    def put(self, key: str, result) -> None:
+        """Store a picklable payload atomically under ``key``."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = pickle.dumps(
+            {"key": key, "salt": CACHE_SALT, "result": result},
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        blob = hashlib.sha256(payload).hexdigest().encode("ascii") + b"\n" + payload
+        fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".tmp-")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(blob)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1

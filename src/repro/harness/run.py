@@ -5,7 +5,17 @@ Usage::
     python -m repro.harness.run --list
     python -m repro.harness.run fig_perf_16
     python -m repro.harness.run all --preset bench
+    python -m repro.harness.run all --preset quick --jobs 4
     python -m repro.harness.run fig_aim_sensitivity --threads 16 --scale 1.0
+
+``--jobs N`` fans simulation points out across N worker processes;
+results reassemble deterministically, so stdout is byte-identical to a
+serial run.  An on-disk result cache (``~/.cache/repro`` unless
+``--cache-dir``/``$REPRO_CACHE_DIR`` says otherwise) makes repeated
+invocations skip identical simulations; ``--no-cache`` disables it.
+Every invocation writes ``manifest.json`` into the cache directory,
+recording each point's key, timing and hit/miss.  Timings go to stderr
+so stdout stays a stable, diffable artifact.
 """
 
 from __future__ import annotations
@@ -16,7 +26,9 @@ import time
 from dataclasses import replace
 
 from .charts import chartable, render_bars
-from .experiments import REGISTRY, Settings, run_experiment
+from .executor import Executor
+from .experiments import REGISTRY, Settings, run_experiment, set_executor
+from .result_cache import ResultCache, default_cache_dir
 
 
 def _build_settings(args: argparse.Namespace) -> Settings:
@@ -38,6 +50,13 @@ def _build_settings(args: argparse.Namespace) -> Settings:
     return replace(settings, **overrides) if overrides else settings
 
 
+def _build_executor(args: argparse.Namespace) -> Executor:
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir or default_cache_dir())
+    return Executor(jobs=args.jobs, cache=cache)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.harness.run",
@@ -52,6 +71,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--scale", type=float, default=None)
     parser.add_argument("--seed", type=int, default=None)
     parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for simulation points (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="result-cache directory (default: ~/.cache/repro)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk result cache",
+    )
+    parser.add_argument(
         "--chart", action="store_true",
         help="render numeric tables as ASCII bar charts",
     )
@@ -65,18 +96,34 @@ def main(argv: list[str] | None = None) -> int:
 
     settings = _build_settings(args)
     targets = list(REGISTRY) if args.experiment == "all" else [args.experiment]
-    for exp_id in targets:
-        start = time.perf_counter()
-        tables = run_experiment(exp_id, settings)
-        elapsed = time.perf_counter() - start
-        print(f"\n### {exp_id} ({REGISTRY[exp_id].paper_artifact}) "
-              f"[{elapsed:.1f}s]\n")
-        for table in tables:
-            if args.chart and chartable(table):
-                print(render_bars(table))
-            else:
-                print(table.render())
-            print()
+    executor = _build_executor(args)
+    set_executor(executor)
+    try:
+        for exp_id in targets:
+            start = time.perf_counter()
+            tables = run_experiment(exp_id, settings)
+            elapsed = time.perf_counter() - start
+            print(f"[{exp_id}: {elapsed:.1f}s]", file=sys.stderr)
+            print(f"\n### {exp_id} ({REGISTRY[exp_id].paper_artifact})\n")
+            for table in tables:
+                if args.chart and chartable(table):
+                    print(render_bars(table))
+                else:
+                    print(table.render())
+                print()
+    finally:
+        set_executor(None)
+        executor.close()
+
+    manifest = executor.manifest
+    summary = (
+        f"[executor: jobs={args.jobs} points={len(manifest.entries)} "
+        f"hits={manifest.hits} misses={manifest.misses}"
+    )
+    if executor.cache is not None:
+        path = manifest.write(executor.cache.root / "manifest.json")
+        summary += f" manifest={path}"
+    print(summary + "]", file=sys.stderr)
     return 0
 
 

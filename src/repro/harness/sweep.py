@@ -3,6 +3,13 @@
 A thin layer over :func:`repro.core.api.run_program` used by the
 sensitivity experiments and available to users exploring the design
 space (AIM sizes, core counts, workload parameters).
+
+Sweep points are independent simulations, so they fan out: pass
+``jobs``/``cache`` (or a preconfigured
+:class:`~repro.harness.executor.Executor`) to run them across worker
+processes and serve repeats from the on-disk result cache.  Results are
+reassembled in ``values`` order, so a parallel sweep is indistinguishable
+from a serial one.
 """
 
 from __future__ import annotations
@@ -12,9 +19,10 @@ from dataclasses import dataclass
 from typing import Any, Callable
 
 from ..common.config import SystemConfig
-from ..core.api import run_program
 from ..core.results import RunResult
 from ..trace.program import Program
+from .executor import Executor, SimPoint
+from .result_cache import ResultCache
 
 
 @dataclass(frozen=True)
@@ -32,18 +40,36 @@ def sweep(
     values: Iterable[Any],
     make_config: Callable[[Any], SystemConfig],
     make_program: Callable[[Any], Program],
+    *,
+    executor: Executor | None = None,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
 ) -> list[SweepPoint]:
     """Run the simulator across ``values``.
 
     ``make_config`` and ``make_program`` map each sweep value to the
     configuration and workload of that point; either may ignore the
-    value to hold its axis fixed.
+    value to hold its axis fixed.  The axes are built serially (they are
+    arbitrary callables); the simulations fan out through ``executor``,
+    or through a temporary ``Executor(jobs, cache)`` when ``jobs`` or
+    ``cache`` is given instead.
     """
-    points: list[SweepPoint] = []
-    for value in values:
-        result = run_program(make_config(value), make_program(value))
-        points.append(SweepPoint(value=value, result=result))
-    return points
+    values = list(values)
+    points = [
+        SimPoint(make_config(value), make_program(value)) for value in values
+    ]
+    owned = executor is None
+    if executor is None:
+        executor = Executor(jobs=jobs, cache=cache)
+    try:
+        results = executor.run_points(points)
+    finally:
+        if owned:
+            executor.close()
+    return [
+        SweepPoint(value=value, result=result)
+        for value, result in zip(values, results)
+    ]
 
 
 def series(points: list[SweepPoint], metric: str) -> list[tuple[Any, float]]:

@@ -1,0 +1,199 @@
+"""Correctness tests for the on-disk result cache.
+
+Cold runs populate, warm runs hit with identical metrics, every input
+that affects a simulation changes the key, and corrupted entries are
+discarded and recomputed — never trusted.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+from dataclasses import replace
+
+import pytest
+
+from repro.common.config import AimConfig, ProtocolKind, SystemConfig
+from repro.common.config import config_fingerprint
+from repro.harness import Executor, ResultCache, SimPoint, WorkloadSpec
+from repro.harness.result_cache import CACHE_SALT, point_key
+
+
+def spec(seed=1, scale=0.05, name="lock-counter", threads=2, **params):
+    return WorkloadSpec.make(
+        name, num_threads=threads, seed=seed, scale=scale, **params
+    )
+
+
+def cfg(**kw):
+    return SystemConfig(num_cores=2, **kw)
+
+
+class TestColdWarm:
+    def test_cold_populates_warm_hits_identically(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        ex = Executor(jobs=1, cache=cache)
+        cold = ex.run(cfg(), spec())
+        assert cache.stats.stores == 1
+        assert cache.stats.hits == 0
+
+        warm = ex.run(cfg(), spec())
+        assert cache.stats.hits == 1
+        assert warm.summary() == cold.summary()
+        assert [e.status for e in ex.manifest.entries] == ["miss", "hit"]
+
+    def test_warm_hit_across_executor_instances(self, tmp_path):
+        first = Executor(jobs=1, cache=ResultCache(tmp_path))
+        cold = first.run(cfg(), spec())
+        second = Executor(jobs=1, cache=ResultCache(tmp_path))
+        warm = second.run(cfg(), spec())
+        assert second.cache.stats.hits == 1
+        assert second.cache.stats.misses == 0
+        assert warm.summary() == cold.summary()
+
+    def test_comparison_hits_whole_batch(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        ex = Executor(jobs=1, cache=cache)
+        cold = ex.compare(cfg(), spec())
+        warm = ex.compare(cfg(), spec())
+        assert warm.summaries() == cold.summaries()
+        assert cache.stats.hits == len(cold.results)
+
+    def test_workload_stats_cached(self, tmp_path):
+        ex = Executor(jobs=1, cache=ResultCache(tmp_path))
+        cold = ex.workload_stats(spec())
+        warm = ex.workload_stats(spec())
+        assert warm == cold
+        assert ex.cache.stats.hits == 1
+
+
+class TestKeying:
+    def test_key_is_stable(self):
+        assert point_key(cfg(), spec().fingerprint()) == point_key(
+            cfg(), spec().fingerprint()
+        )
+
+    @pytest.mark.parametrize(
+        "variant",
+        [
+            cfg(protocol=ProtocolKind.CE),  # protocol
+            cfg(aim=AimConfig(size=64 * 1024)),  # nested config field
+            cfg(metadata_bytes=16),  # scalar config field
+            replace(cfg(), arc_lazy_clear=False),  # flag
+            SystemConfig(num_cores=4),  # geometry
+        ],
+    )
+    def test_config_changes_key(self, variant):
+        base_key = point_key(cfg(), spec().fingerprint())
+        assert point_key(variant, spec().fingerprint()) != base_key
+
+    @pytest.mark.parametrize(
+        "variant",
+        [
+            spec(seed=2),  # seed
+            spec(scale=0.1),  # scale
+            spec(name="pipeline-ferret"),  # workload
+            spec(threads=4),  # thread count
+            spec(rounds=7),  # generator param
+        ],
+    )
+    def test_workload_changes_key(self, variant):
+        base_key = point_key(cfg(), spec().fingerprint())
+        assert point_key(cfg(), variant.fingerprint()) != base_key
+
+    def test_config_fingerprint_detects_every_field(self):
+        base = config_fingerprint(cfg())
+        assert config_fingerprint(cfg()) == base
+        assert config_fingerprint(cfg(use_owned_state=True)) != base
+
+    def test_program_and_spec_key_spaces_disjoint(self):
+        """A prebuilt program never aliases a spec-built point's key."""
+        built = spec().build()
+        assert SimPoint(cfg(), spec()).key() != SimPoint(cfg(), built).key()
+
+    def test_identical_programs_share_keys(self):
+        a, b = spec().build(), spec().build()
+        assert SimPoint(cfg(), a).key() == SimPoint(cfg(), b).key()
+
+
+class TestCorruption:
+    def _entry_path(self, cache: ResultCache):
+        files = [p for p in cache.root.rglob("*.pkl")]
+        assert len(files) == 1
+        return files[0]
+
+    def _assert_recomputed(self, tmp_path, corrupt):
+        cache = ResultCache(tmp_path)
+        ex = Executor(jobs=1, cache=cache)
+        cold = ex.run(cfg(), spec())
+        corrupt(self._entry_path(cache))
+
+        fresh = ResultCache(tmp_path)
+        again = Executor(jobs=1, cache=fresh).run(cfg(), spec())
+        assert fresh.stats.discarded == 1
+        assert fresh.stats.hits == 0
+        assert fresh.stats.stores == 1  # recomputed and re-stored
+        assert again.summary() == cold.summary()
+        # and the rewritten entry is trusted again
+        final = ResultCache(tmp_path)
+        assert Executor(jobs=1, cache=final).run(cfg(), spec()) is not None
+        assert final.stats.hits == 1
+
+    def test_truncated_entry_recomputed(self, tmp_path):
+        self._assert_recomputed(
+            tmp_path, lambda p: p.write_bytes(p.read_bytes()[: len(p.read_bytes()) // 2])
+        )
+
+    def test_garbage_entry_recomputed(self, tmp_path):
+        self._assert_recomputed(tmp_path, lambda p: p.write_bytes(b"not a cache entry"))
+
+    def test_flipped_payload_byte_recomputed(self, tmp_path):
+        def flip(p):
+            blob = bytearray(p.read_bytes())
+            blob[-1] ^= 0xFF
+            p.write_bytes(bytes(blob))
+
+        self._assert_recomputed(tmp_path, flip)
+
+    def test_wrong_payload_type_recomputed(self, tmp_path):
+        def swap(p):
+            import hashlib
+
+            payload = pickle.dumps(
+                {"key": p.parent.name + p.stem, "salt": CACHE_SALT,
+                 "result": "not a RunResult"}
+            )
+            p.write_bytes(
+                hashlib.sha256(payload).hexdigest().encode() + b"\n" + payload
+            )
+
+        self._assert_recomputed(tmp_path, swap)
+
+    def test_corrupt_entry_removed_from_disk(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        ex = Executor(jobs=1, cache=cache)
+        ex.run(cfg(), spec())
+        path = self._entry_path(cache)
+        path.write_bytes(b"junk")
+        assert ResultCache(tmp_path).get(path.parent.name + path.stem) is None
+        assert not path.exists()
+
+
+class TestManifest:
+    def test_manifest_json_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        ex = Executor(jobs=1, cache=cache)
+        ex.compare(cfg(), spec())
+        ex.compare(cfg(), spec())
+        out = ex.manifest.write(tmp_path / "manifest.json")
+        data = json.loads(out.read_text())
+        assert data["points"] == len(ex.manifest.entries)
+        assert data["hits"] == 4
+        assert data["misses"] == 4
+        assert data["cache_dir"] == str(cache.root)
+        statuses = [e["status"] for e in data["entries"]]
+        assert statuses == ["miss"] * 4 + ["hit"] * 4
+        for entry in data["entries"]:
+            assert len(entry["key"]) == 64
+            assert entry["seconds"] >= 0
+            assert entry["protocol"] in ("mesi", "ce", "ce+", "arc")

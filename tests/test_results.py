@@ -148,3 +148,80 @@ class TestRunProgramValidation:
         program = Program([TraceBuilder().read(0).build()])
         result = run_program(SystemConfig(num_cores=2), program, validate=False)
         assert result.stats.accesses == 1
+
+
+class TestPickleRoundTrip:
+    """Results are worker/cache transport: pickling may never drop a field.
+
+    Comparing full summary() dicts (and the energy breakdown) before and
+    after the round trip polices every metric the harness reports.
+    """
+
+    def _round_trip(self, obj):
+        import pickle
+
+        return pickle.loads(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+
+    def test_run_result_round_trip(self, comparison):
+        for result in comparison.results.values():
+            clone = self._round_trip(result)
+            assert clone.summary() == result.summary()
+            assert clone.energy().as_dict() == result.energy().as_dict()
+            assert clone.flit_hops_by_category() == result.flit_hops_by_category()
+            assert clone.cfg == result.cfg
+            assert clone.program_name == result.program_name
+
+    def test_stats_round_trip(self, comparison):
+        from dataclasses import fields
+
+        for result in comparison.results.values():
+            stats = result.stats
+            clone = self._round_trip(stats)
+            for field in fields(stats):
+                assert getattr(clone, field.name) == getattr(stats, field.name), (
+                    field.name
+                )
+            # derived properties survive too
+            assert clone.l1_miss_rate == stats.l1_miss_rate
+            assert clone.aim_hit_rate == stats.aim_hit_rate
+            assert clone.metadata_ops == stats.metadata_ops
+
+    def test_stats_conflict_dedup_survives(self):
+        from repro.common.errors import ConflictRecord
+        from repro.core.stats import Stats
+
+        stats = Stats()
+        record = ConflictRecord(
+            cycle=5, line_addr=0x40, byte_mask=0xFF,
+            first_core=0, second_core=1, first_region=0, second_region=0,
+            first_was_write=True, second_was_write=True, detected_by="fwd",
+        )
+        assert stats.record_conflict(record)
+        clone = self._round_trip(stats)
+        # the dedup signature set must travel with the conflict log
+        assert not clone.record_conflict(record)
+        assert len(clone.conflicts) == 1
+
+    def test_system_config_round_trip(self):
+        from dataclasses import replace
+
+        from repro.common.config import AimConfig, CacheConfig, config_fingerprint
+
+        cfg = replace(
+            SystemConfig(
+                num_cores=8,
+                protocol=ProtocolKind.CEPLUS,
+                aim=AimConfig(size=64 * 1024),
+                l2=CacheConfig(size=256 * 1024, assoc=8, hit_latency=6),
+            ),
+            directory_entries_per_bank=1024,
+            use_owned_state=True,
+        )
+        clone = self._round_trip(cfg)
+        assert clone == cfg
+        assert config_fingerprint(clone) == config_fingerprint(cfg)
+
+    def test_comparison_round_trip(self, comparison):
+        clone = self._round_trip(comparison)
+        assert clone.summaries() == comparison.summaries()
+        assert clone.normalized_runtime() == comparison.normalized_runtime()
