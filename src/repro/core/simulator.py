@@ -34,7 +34,7 @@ from ..common.bitops import byte_mask
 from ..common.config import SystemConfig
 from ..common.errors import SimulationError, TraceError
 from ..protocols import make_protocol
-from ..trace.events import ACQUIRE, BARRIER, READ, RELEASE, WRITE
+from ..trace.events import ACQUIRE, BARRIER, RELEASE, WRITE
 from ..trace.program import Program
 from .machine import Machine
 from .results import RunResult

@@ -12,7 +12,7 @@ is the scaled-down preset the ``benchmarks/`` harness uses, while
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Callable
 
 from ..common.config import AimConfig, ProtocolKind, SystemConfig

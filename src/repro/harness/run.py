@@ -31,6 +31,57 @@ from .experiments import REGISTRY, Settings, run_experiment, set_executor
 from .result_cache import ResultCache, default_cache_dir
 
 
+def prescreen(settings: Settings, strict: bool = False) -> bool:
+    """Static pre-screen of every suite workload at the current settings.
+
+    Runs the :mod:`repro.analysis` happens-before scan and lint over each
+    workload the experiments will simulate, annotating stderr with one
+    line per workload.  Returns False (and, under ``strict``, the caller
+    aborts) when any workload lints at error severity or its barriers
+    deadlock — those runs would waste simulation time or hang.
+    """
+    from ..synth.base import generate
+    from ..synth.suite import RACY_SUITE, SUITE
+    from ..tools.analyze import analyze_program
+
+    clean = True
+    for name in tuple(SUITE) + tuple(RACY_SUITE):
+        program = generate(
+            name,
+            num_threads=settings.num_threads,
+            seed=settings.seed,
+            scale=settings.scale,
+        )
+        report = analyze_program(program, settings.config())
+        races = report["races"]
+        lint = report["lint"]
+        race_note = (
+            "barrier deadlock" if "error" in races
+            else f"{races['count']} predicted conflict(s)"
+        )
+        print(
+            f"[analyze: {name}: {race_note}, lint "
+            f"{lint['count']} finding(s)"
+            + (f", worst={lint['max_severity']}" if lint["count"] else "")
+            + "]",
+            file=sys.stderr,
+        )
+        for finding in lint["findings"]:
+            print(
+                f"[analyze:   {finding['rule']}:{finding['severity']} "
+                f"{finding['subject']}: {finding['message']}]",
+                file=sys.stderr,
+            )
+        if lint["max_severity"] == "error" or "error" in races:
+            clean = False
+    if not clean and strict:
+        print(
+            "[analyze: error-severity findings; aborting (--analyze-strict)]",
+            file=sys.stderr,
+        )
+    return clean
+
+
 def _build_settings(args: argparse.Namespace) -> Settings:
     presets = {
         "full": Settings.full,
@@ -86,6 +137,16 @@ def main(argv: list[str] | None = None) -> int:
         "--chart", action="store_true",
         help="render numeric tables as ASCII bar charts",
     )
+    parser.add_argument(
+        "--analyze", action="store_true",
+        help="pre-screen the workload suite with the static analyzer "
+        "(races + lint) and annotate stderr before running",
+    )
+    parser.add_argument(
+        "--analyze-strict", action="store_true",
+        help="like --analyze, but exit 3 on error-severity findings "
+        "instead of running",
+    )
     args = parser.parse_args(argv)
 
     if args.list or not args.experiment:
@@ -95,6 +156,10 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     settings = _build_settings(args)
+    if args.analyze or args.analyze_strict:
+        if not prescreen(settings, strict=args.analyze_strict):
+            if args.analyze_strict:
+                return 3
     targets = list(REGISTRY) if args.experiment == "all" else [args.experiment]
     executor = _build_executor(args)
     set_executor(executor)

@@ -37,7 +37,7 @@ from __future__ import annotations
 from ..common.bitops import byte_mask
 from ..mem.cache import SetAssocCache
 from ..mem.hierarchy import PrivateHierarchy
-from ..noc.messages import DATA, FWD, INV, REQ
+from ..noc.messages import FWD, INV, REQ
 from .base import DIRTY_STATES, E, M, O, S, CoherenceProtocol, DirEntry, MesiLine
 
 

@@ -7,8 +7,10 @@ checks:
 * event kinds are known and access sizes are in 1..8 bytes;
 * no access straddles a cache-line boundary;
 * sync events carry non-negative sync ids, data accesses carry ``-1``;
-* per thread, every RELEASE releases a lock that is currently held and
-  no locks are held at trace end;
+* per thread, every RELEASE releases a lock that is currently held, no
+  ACQUIRE re-acquires a lock the thread already holds (self-deadlock —
+  the simulated locks are not reentrant), and no locks are held at
+  trace end;
 * no barrier while holding a lock (guaranteed deadlock);
 * every barrier id is used the *same number of times* by each of its
   participating threads (otherwise some episode never forms).
@@ -19,7 +21,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..common.errors import TraceError
-from .events import ACQUIRE, BARRIER, KIND_NAMES, MAX_ACCESS_SIZE, READ, RELEASE, WRITE
+from .events import ACQUIRE, BARRIER, KIND_NAMES, MAX_ACCESS_SIZE, RELEASE, WRITE
 from .program import Program
 
 
@@ -62,6 +64,11 @@ def validate_trace(trace, line_size: int, thread: int = -1) -> None:
     ids = sync_ids[is_sync]
     for kind, sid in zip(sync_kinds.tolist(), ids.tolist()):
         if kind == ACQUIRE:
+            if sid in held:
+                raise TraceError(
+                    f"{tag}: acquire of lock {sid} that is already held "
+                    f"(self-deadlock)"
+                )
             held.append(sid)
         elif kind == RELEASE:
             if sid not in held:

@@ -1,0 +1,452 @@
+"""Unit tests for the static happens-before analyzer and the lint pass.
+
+Covers the vector-clock/epoch primitives, the barrier-episode clock
+propagation, pair classification, the group-based race scan against a
+naive all-pairs reference, and every lint rule id.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    BarrierStallError,
+    Epoch,
+    VectorClock,
+    access_races,
+    build_hb,
+    lint_config,
+    lint_program,
+    max_severity,
+    region_conflicts,
+)
+from repro.analysis.hb import (
+    HB_ORDERED,
+    LOCK_PROTECTED,
+    NO_CONFLICT,
+    RACE,
+    SAME_THREAD,
+)
+from repro.analysis.lint import RULES, SEVERITIES
+from repro.common.config import AimConfig, SystemConfig
+from repro.synth import RACY_SUITE, SUITE, build_workload
+from repro.trace import Program, ThreadTrace, TraceBuilder
+from repro.trace.events import ACQUIRE, BARRIER, EVENT_DTYPE, RELEASE, WRITE
+
+
+def rule_ids(findings):
+    return {f.rule_id for f in findings}
+
+
+def raw_trace(rows):
+    """Build a ThreadTrace from raw (kind, addr, size, sync, gap) tuples,
+    bypassing the builder's discipline checks (for malformed-input rules)."""
+    events = np.zeros(len(rows), dtype=EVENT_DTYPE)
+    for i, row in enumerate(rows):
+        events[i] = row
+    return ThreadTrace(events)
+
+
+class TestVectorClock:
+    def test_fresh_clock_is_zero(self):
+        vc = VectorClock(3)
+        assert [vc[i] for i in range(3)] == [0, 0, 0]
+
+    def test_tick_and_join(self):
+        a, b = VectorClock(3), VectorClock(3)
+        a.tick(0)
+        a.tick(0)
+        b.tick(1)
+        b.join(a)
+        assert b.freeze() == (2, 1, 0)
+        assert b.dominates(a)
+        assert not a.dominates(b)
+
+    def test_copy_is_independent(self):
+        a = VectorClock(2)
+        c = a.copy()
+        c.tick(0)
+        assert a[0] == 0 and c[0] == 1
+
+    def test_epoch_precedes(self):
+        # Epoch 1@0 precedes a clock only once it has seen thread 0
+        # advance *past* phase 1.
+        assert not Epoch(0, 1).precedes((1, 5))
+        assert Epoch(0, 1).precedes((2, 0))
+
+
+class TestBuildHb:
+    def test_phases_count_barrier_arrivals(self):
+        t0 = TraceBuilder().read(0).barrier(0).read(64).barrier(0).read(128).build()
+        t1 = TraceBuilder().barrier(0).barrier(0).build()
+        hb = build_hb(Program([t0, t1]))
+        assert hb.phase_of[0].tolist() == [0, 1, 1, 2, 2]
+        assert len(hb.clocks[0]) == 3  # phases 0, 1, 2
+
+    def test_barrier_orders_across_threads(self):
+        t0 = TraceBuilder().write(0).barrier(0).build()
+        t1 = TraceBuilder().barrier(0).write(0).build()
+        hb = build_hb(Program([t0, t1]))
+        # t0's pre-barrier write (event 0) vs t1's post-barrier write
+        assert hb.ordered(0, 0, 1, 1)
+
+    def test_pre_barrier_events_unordered(self):
+        t0 = TraceBuilder().write(0).barrier(0).build()
+        t1 = TraceBuilder().write(0).barrier(0).build()
+        hb = build_hb(Program([t0, t1]))
+        assert not hb.ordered(0, 0, 1, 0)
+
+    def test_transitive_order_through_third_thread(self):
+        # t0 -> (barrier 0 with t1) ... t1 -> (barrier 1 with t2): t0's
+        # pre-b0 work is ordered before t2's post-b1 work transitively.
+        t0 = TraceBuilder().write(0).barrier(0).build()
+        t1 = TraceBuilder().barrier(0).barrier(1).build()
+        t2 = TraceBuilder().barrier(1).write(0).build()
+        hb = build_hb(Program([t0, t1, t2]))
+        assert hb.ordered(0, 0, 2, 1)
+
+    def test_stall_on_crossed_barrier_order(self):
+        t0 = TraceBuilder().barrier(0).barrier(1).build()
+        t1 = TraceBuilder().barrier(1).barrier(0).build()
+        with pytest.raises(BarrierStallError) as err:
+            build_hb(Program([t0, t1]))
+        assert err.value.stalled == {0: 0, 1: 1}
+
+    def test_stall_on_missing_participant(self):
+        t0 = TraceBuilder().barrier(0).build()
+        t1 = TraceBuilder().read(0).build()
+        program = Program(
+            [t0, t1], barrier_participants={0: frozenset({0, 1})}
+        )
+        with pytest.raises(BarrierStallError):
+            build_hb(program)
+
+    def test_locksets_cover_critical_sections(self):
+        t0 = (
+            TraceBuilder()
+            .read(0)                 # event 0: no locks
+            .acquire(7)              # event 1
+            .write(64)               # event 2: holds {7}
+            .release(7)              # event 3
+            .read(128)               # event 4: no locks
+            .build()
+        )
+        hb = build_hb(Program([t0]))
+        sets = [hb.locksets[i] for i in hb.lockset_of[0].tolist()]
+        assert sets[0] == frozenset()
+        assert sets[2] == frozenset({7})
+        assert sets[4] == frozenset()
+
+
+class TestClassify:
+    def build(self, t0, t1):
+        program = Program([t0, t1])
+        return program, build_hb(program)
+
+    def test_same_thread(self):
+        t0 = TraceBuilder().write(0).write(0).build()
+        t1 = TraceBuilder().read(64).build()
+        program, hb = self.build(t0, t1)
+        assert hb.classify(program, 0, 0, 0, 1) == SAME_THREAD
+
+    def test_read_read_no_conflict(self):
+        t0 = TraceBuilder().read(0).build()
+        t1 = TraceBuilder().read(0).build()
+        program, hb = self.build(t0, t1)
+        assert hb.classify(program, 0, 0, 1, 0) == NO_CONFLICT
+
+    def test_disjoint_bytes_no_conflict(self):
+        t0 = TraceBuilder().write(0, 8).build()
+        t1 = TraceBuilder().write(8, 8).build()
+        program, hb = self.build(t0, t1)
+        assert hb.classify(program, 0, 0, 1, 0) == NO_CONFLICT
+
+    def test_barrier_ordered(self):
+        t0 = TraceBuilder().write(0).barrier(0).build()
+        t1 = TraceBuilder().barrier(0).write(0).build()
+        program, hb = self.build(t0, t1)
+        assert hb.classify(program, 0, 0, 1, 1) == HB_ORDERED
+
+    def test_lock_protected(self):
+        t0 = TraceBuilder().acquire(5).write(0).release(5).build()
+        t1 = TraceBuilder().acquire(5).write(0).release(5).build()
+        program, hb = self.build(t0, t1)
+        assert hb.classify(program, 0, 1, 1, 1) == LOCK_PROTECTED
+
+    def test_different_locks_race(self):
+        t0 = TraceBuilder().acquire(5).write(0).release(5).build()
+        t1 = TraceBuilder().acquire(6).write(0).release(6).build()
+        program, hb = self.build(t0, t1)
+        assert hb.classify(program, 0, 1, 1, 1) == RACE
+
+    def test_plain_race(self):
+        t0 = TraceBuilder().write(0).build()
+        t1 = TraceBuilder().read(0).build()
+        program, hb = self.build(t0, t1)
+        assert hb.classify(program, 0, 0, 1, 0) == RACE
+
+
+class TestRaceScan:
+    def test_write_write_race_found(self):
+        t0 = TraceBuilder().write(0, 8).build()
+        t1 = TraceBuilder().write(0, 8).build()
+        races = access_races(Program([t0, t1]))
+        assert len(races) == 1
+        race = races[0]
+        assert race.line == 0
+        assert race.byte_mask == 0xFF
+        assert (race.first_thread, race.second_thread) == (0, 1)
+        assert race.first_is_write and race.second_is_write
+
+    def test_race_normalization(self):
+        # Whatever the internal group order, first side has the smaller
+        # (thread, region).
+        t0 = TraceBuilder().read(0).build()
+        t1 = TraceBuilder().write(0).build()
+        (race,) = access_races(Program([t0, t1]))
+        assert (race.first_thread, race.first_region) <= (
+            race.second_thread,
+            race.second_region,
+        )
+
+    def test_barrier_separated_clean(self):
+        t0 = TraceBuilder().write(0).barrier(0).build()
+        t1 = TraceBuilder().barrier(0).write(0).build()
+        assert access_races(Program([t0, t1])) == []
+
+    def test_common_lock_clean(self):
+        t0 = TraceBuilder().acquire(1).write(0).release(1).build()
+        t1 = TraceBuilder().acquire(1).write(0).release(1).build()
+        assert access_races(Program([t0, t1])) == []
+
+    def test_private_lines_skipped(self):
+        t0 = TraceBuilder().write(0).write(64).build()
+        t1 = TraceBuilder().write(128).write(192).build()
+        assert access_races(Program([t0, t1])) == []
+
+    def test_region_lift_merges_masks(self):
+        t0 = TraceBuilder().write(0, 4).write(8, 4).build()
+        t1 = TraceBuilder().write(0, 4).write(8, 4).build()
+        program = Program([t0, t1])
+        conflicts = region_conflicts(program)
+        assert len(conflicts) == 1
+        (conflict,) = conflicts.values()
+        assert conflict.byte_mask == 0x0F0F
+        assert conflict.kind() == "ww"
+        assert conflict.key == (0, 0, 0, 1, 0)
+
+
+NAIVE_CAP = 60  # events per thread the naive reference can afford
+
+
+def naive_races(program, line_size=64):
+    """O(n^2) all-pairs reference using only HbIndex.classify."""
+    hb = build_hb(program)
+    found = set()
+    for t1, tr1 in enumerate(program.traces):
+        for t2 in range(t1 + 1, program.num_threads):
+            tr2 = program.traces[t2]
+            for e1 in np.nonzero(tr1.kinds <= WRITE)[0].tolist():
+                for e2 in np.nonzero(tr2.kinds <= WRITE)[0].tolist():
+                    if hb.classify(program, t1, e1, t2, e2, line_size) == RACE:
+                        found.add((t1, e1, t2, e2))
+    return found
+
+
+random_ops = st.lists(
+    st.tuples(
+        st.integers(0, 3),   # 0=read 1=write 2=lock/unlock 3=barrier
+        st.integers(0, 7),   # line offset in the shared pool
+        st.integers(0, 1),   # lock / barrier choice
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+def random_program(per_thread_ops):
+    builders = [TraceBuilder() for _ in per_thread_ops]
+    barrier_uses = [[] for _ in per_thread_ops]
+    for tid, (builder, ops) in enumerate(zip(builders, per_thread_ops)):
+        for op, offset, which in ops:
+            if op == 0:
+                builder.read(0x1000 + offset * 8, 8)
+            elif op == 1:
+                builder.write(0x1000 + offset * 8, 8)
+            elif op == 2:
+                builder.acquire(50 + which)
+                builder.write(0x1000 + offset * 8, 8)
+                builder.release(50 + which)
+            else:
+                barrier_uses[tid].append(0)
+                builder.barrier(0)
+    # Equalize barrier arrival counts so episodes always complete.
+    most = max(len(u) for u in barrier_uses)
+    for builder, uses in zip(builders, barrier_uses):
+        for _ in range(most - len(uses)):
+            builder.barrier(0)
+    return Program([b.build() for b in builders], name="random")
+
+
+class TestScanMatchesNaiveReference:
+    @given(ops0=random_ops, ops1=random_ops)
+    @settings(max_examples=50, deadline=None)
+    def test_two_threads(self, ops0, ops1):
+        program = random_program([ops0, ops1])
+        fast = {
+            (r.first_thread, r.first_event, r.second_thread, r.second_event)
+            for r in access_races(program)
+        }
+        assert fast == naive_races(program)
+
+    @given(ops0=random_ops, ops1=random_ops, ops2=random_ops)
+    @settings(max_examples=25, deadline=None)
+    def test_three_threads(self, ops0, ops1, ops2):
+        program = random_program([ops0, ops1, ops2])
+        fast = {
+            (r.first_thread, r.first_event, r.second_thread, r.second_event)
+            for r in access_races(program)
+        }
+        assert fast == naive_races(program)
+
+
+class TestSuiteWorkloads:
+    @pytest.mark.parametrize("name", SUITE)
+    def test_conflict_free_suite_has_no_races(self, name):
+        program = build_workload(name, num_threads=4, seed=1, scale=0.1)
+        assert region_conflicts(program) == {}
+
+    @pytest.mark.parametrize("name", RACY_SUITE)
+    def test_racy_suite_has_races(self, name):
+        program = build_workload(name, num_threads=4, seed=1, scale=0.1)
+        assert region_conflicts(program)
+
+    @pytest.mark.parametrize("name", SUITE)
+    def test_suite_lints_clean_of_errors(self, name):
+        program = build_workload(name, num_threads=4, seed=1, scale=0.1)
+        findings = lint_program(program, SystemConfig(num_cores=4))
+        assert max_severity(findings) in (None, "info")
+
+
+class TestLintRules:
+    def test_registry_is_consistent(self):
+        assert len(RULES) == 16
+        for rule_id, rule in RULES.items():
+            assert rule.rule_id == rule_id
+            assert rule.severity in SEVERITIES
+            assert rule.hint
+
+    def test_l101_lock_order_inversion(self):
+        t0 = (
+            TraceBuilder().acquire(1).acquire(2).release(2).release(1).build()
+        )
+        t1 = (
+            TraceBuilder().acquire(2).acquire(1).release(1).release(2).build()
+        )
+        findings = lint_program(Program([t0, t1]))
+        assert "L101" in rule_ids(findings)
+
+    def test_nested_but_consistent_order_clean(self):
+        t0 = (
+            TraceBuilder().acquire(1).acquire(2).release(2).release(1).build()
+        )
+        t1 = (
+            TraceBuilder().acquire(1).acquire(2).release(2).release(1).build()
+        )
+        assert "L101" not in rule_ids(lint_program(Program([t0, t1])))
+
+    def test_l102_self_acquire(self):
+        t0 = TraceBuilder().acquire(3).acquire(3).release(3).release(3).build()
+        findings = lint_program(Program([t0]))
+        assert "L102" in rule_ids(findings)
+
+    def test_l103_release_unheld(self):
+        t0 = raw_trace([(RELEASE, 0, 0, 3, 0)])
+        assert "L103" in rule_ids(lint_program(Program([t0])))
+
+    def test_l104_held_at_end(self):
+        t0 = raw_trace([(ACQUIRE, 0, 0, 3, 0)])
+        assert "L104" in rule_ids(lint_program(Program([t0])))
+
+    def test_b201_barrier_while_locked(self):
+        t0 = raw_trace([
+            (ACQUIRE, 0, 0, 3, 0), (BARRIER, 0, 0, 0, 0), (RELEASE, 0, 0, 3, 0),
+        ])
+        assert "B201" in rule_ids(lint_program(Program([t0])))
+
+    def test_b202_unequal_counts(self):
+        t0 = TraceBuilder().barrier(0).barrier(0).build()
+        t1 = TraceBuilder().barrier(0).build()
+        assert "B202" in rule_ids(lint_program(Program([t0, t1])))
+
+    def test_b203_crossed_order_deadlock(self):
+        t0 = TraceBuilder().barrier(0).barrier(1).build()
+        t1 = TraceBuilder().barrier(1).barrier(0).build()
+        assert "B203" in rule_ids(lint_program(Program([t0, t1])))
+
+    def test_b204_single_participant(self):
+        t0 = TraceBuilder().barrier(0).build()
+        t1 = TraceBuilder().read(0).build()
+        assert "B204" in rule_ids(lint_program(Program([t0, t1])))
+
+    def test_a301_metadata_straddle(self):
+        t0 = TraceBuilder().write(30, 4).build()  # bytes 30..33 cross 32
+        cfg = SystemConfig(num_cores=2, metadata_bytes=32)
+        findings = lint_program(Program([t0]), cfg)
+        assert "A301" in rule_ids(findings)
+        aligned = TraceBuilder().write(32, 4).build()
+        assert "A301" not in rule_ids(lint_program(Program([aligned]), cfg))
+
+    def test_c401_arc_flags_under_mesi(self):
+        cfg = SystemConfig(protocol="mesi", arc_write_through=True)
+        assert "C401" in rule_ids(lint_config(cfg))
+
+    def test_c402_custom_aim_under_ce(self):
+        cfg = SystemConfig(protocol="ce", aim=AimConfig(size=256 * 1024))
+        assert "C402" in rule_ids(lint_config(cfg))
+        assert "C402" not in rule_ids(
+            lint_config(SystemConfig(protocol="ce+", aim=AimConfig(size=256 * 1024)))
+        )
+
+    def test_c403_halt_under_mesi(self):
+        cfg = SystemConfig(protocol="mesi", halt_on_conflict=True)
+        assert "C403" in rule_ids(lint_config(cfg))
+
+    def test_c404_owned_state_under_arc(self):
+        cfg = SystemConfig(protocol="arc", use_owned_state=True)
+        assert "C404" in rule_ids(lint_config(cfg))
+
+    def test_c405_directory_under_arc(self):
+        cfg = SystemConfig(protocol="arc", directory_entries_per_bank=512)
+        assert "C405" in rule_ids(lint_config(cfg))
+
+    def test_c406_idle_cores(self):
+        program = Program([TraceBuilder().read(0).build()])
+        cfg = SystemConfig(num_cores=4)
+        assert "C406" in rule_ids(lint_config(cfg, program))
+
+    def test_c407_oversubscribed(self):
+        traces = [TraceBuilder().read(0).build() for _ in range(4)]
+        cfg = SystemConfig(num_cores=2)
+        findings = lint_config(cfg, Program(traces))
+        assert "C407" in rule_ids(findings)
+        assert max_severity(findings) == "error"
+
+    def test_default_config_is_clean(self):
+        program = Program([
+            TraceBuilder().read(0).build() for _ in range(4)
+        ])
+        assert lint_program(program, SystemConfig(num_cores=4)) == []
+
+    def test_findings_sorted_errors_first(self):
+        t0 = raw_trace([
+            (ACQUIRE, 0, 0, 3, 0), (BARRIER, 0, 0, 0, 0), (RELEASE, 0, 0, 3, 0),
+        ])
+        t1 = TraceBuilder().read(0).build()
+        findings = lint_program(Program([t0, t1]))
+        severities = [SEVERITIES.index(f.severity) for f in findings]
+        assert severities == sorted(severities, reverse=True)
+
+    def test_max_severity_empty(self):
+        assert max_severity([]) is None

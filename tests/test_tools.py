@@ -80,6 +80,101 @@ class TestCli:
             dump_main(["lock-counter", "--threads", "4", "--thread", "9"])
 
 
+class TestConflictsCli:
+    def test_racy_workload_reports(self, capsys):
+        from repro.tools.conflicts import main
+
+        rc = main(["racy-writers", "--protocol", "arc", "--threads", "4",
+                   "--scale", "0.05"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "racy-writers under arc" in out
+        assert "conflict exception(s)" in out
+
+    def test_clean_workload_quiet(self, capsys):
+        from repro.tools.conflicts import main
+
+        rc = main(["lock-counter", "--protocol", "ce", "--threads", "4",
+                   "--scale", "0.05"])
+        assert rc == 0
+        assert "0 region" in capsys.readouterr().out
+
+    def test_bad_protocol_rejected(self):
+        from repro.tools.conflicts import main
+
+        with pytest.raises(SystemExit):
+            main(["lock-counter", "--protocol", "nonsense"])
+
+
+class TestAnalyzeCli:
+    def test_clean_workload_text(self, capsys):
+        from repro.tools.analyze import main
+
+        rc = main(["stencil-ocean", "--threads", "4", "--scale", "0.05"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "races: none" in out
+        assert "lint: clean" in out
+
+    def test_racy_workload_text(self, capsys):
+        from repro.tools.analyze import main
+
+        rc = main(["racy-writers", "--threads", "4", "--scale", "0.05"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "predicted region conflict" in out
+        assert "ww on" in out
+
+    def test_json_schema(self, capsys):
+        import json
+
+        from repro.tools.analyze import main
+
+        rc = main(["racy-readers", "--threads", "4", "--scale", "0.05",
+                   "--format", "json"])
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+        assert set(report) == {"target", "threads", "line_size", "races", "lint"}
+        assert report["target"] == "racy-readers"
+        assert report["threads"] == 4
+        assert report["races"]["count"] == len(report["races"]["region_conflicts"])
+        assert report["races"]["count"] > 0
+        conflict = report["races"]["region_conflicts"][0]
+        assert set(conflict) == {
+            "line", "first_core", "first_region",
+            "second_core", "second_region", "byte_mask", "kind",
+        }
+        assert conflict["kind"] in ("ww", "rw", "wr")
+        assert report["lint"]["max_severity"] in (None, "info", "warning", "error")
+
+    def test_fail_on_race_gates(self, capsys):
+        from repro.tools.analyze import main
+
+        assert main(["racy-writers", "--threads", "2", "--scale", "0.05",
+                     "--fail-on", "race"]) == 3
+        capsys.readouterr()
+        assert main(["stencil-ocean", "--threads", "2", "--scale", "0.05",
+                     "--fail-on", "race"]) == 0
+
+    def test_no_flags_skip_sections(self, capsys):
+        import json
+
+        from repro.tools.analyze import main
+
+        rc = main(["lock-counter", "--threads", "2", "--scale", "0.05",
+                   "--no-races", "--format", "json"])
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+        assert "races" not in report
+        assert "lint" in report
+
+    def test_bad_format_rejected(self):
+        from repro.tools.analyze import main
+
+        with pytest.raises(SystemExit):
+            main(["lock-counter", "--format", "yaml"])
+
+
 class TestParseParams:
     from repro.tools.inspect import parse_params
 

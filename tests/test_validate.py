@@ -50,6 +50,18 @@ class TestValidateTrace:
         with pytest.raises(TraceError, match="sync id"):
             validate_trace(trace, 64)
 
+    def test_reacquire_held_lock_rejected(self):
+        trace = raw_trace([(ACQUIRE, 0, 0, 1, 0), (ACQUIRE, 0, 0, 1, 0)])
+        with pytest.raises(TraceError, match="already held"):
+            validate_trace(trace, 64)
+
+    def test_reacquire_after_release_allowed(self):
+        trace = raw_trace([
+            (ACQUIRE, 0, 0, 1, 0), (RELEASE, 0, 0, 1, 0),
+            (ACQUIRE, 0, 0, 1, 0), (RELEASE, 0, 0, 1, 0),
+        ])
+        validate_trace(trace, 64)
+
     def test_release_unheld_rejected(self):
         trace = raw_trace([(RELEASE, 0, 0, 1, 0)])
         with pytest.raises(TraceError, match="not held"):
