@@ -1,0 +1,126 @@
+"""Resilience benchmark: chaos costs retries, not correctness.
+
+Times ``python -m repro.harness.run all --preset quick`` three ways —
+fault-free, under seeded chaos (worker crashes + pickle failures +
+cache corruption) with a retry budget, and with injected hangs under
+``--keep-going`` — and asserts:
+
+* the chaos run's stdout is byte-identical to the fault-free run (the
+  retry contract: every injected transient fault is absorbed);
+* the keep-going run exits 0 within its timeout budget and marks its
+  failed points both on stderr and in the manifest;
+* the overhead of surviving the chaos stays bounded (retries, not
+  restarts from scratch).
+
+Run standalone (``python benchmarks/bench_resilience.py``) for a timing
+report, or through pytest (wired into the suite via the ``faultinject``
+marker in ``tests/test_faultinject.py``-style CI step).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+RUN = [sys.executable, "-m", "repro.harness.run", "all", "--preset", "quick"]
+
+CHAOS = "seed=11,crash=0.1,pickle=0.05,corrupt=0.2"
+HANGS = "seed=13,slow=0.05,slow-seconds=60"
+
+pytestmark = pytest.mark.faultinject
+
+
+def _invoke(cache_dir: str, *extra: str, check: bool = True):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    start = time.perf_counter()
+    proc = subprocess.run(
+        RUN + ["--cache-dir", cache_dir, *extra],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=check,
+    )
+    return proc, time.perf_counter() - start
+
+
+def bench_resilience(max_overhead: float = 4.0) -> dict:
+    """Run the three-way comparison; return the timing summary."""
+    with tempfile.TemporaryDirectory(prefix="repro-bench-clean-") as clean_dir:
+        clean, clean_s = _invoke(clean_dir, "--jobs", "2")
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-chaos-") as chaos_dir:
+        chaos, chaos_s = _invoke(
+            chaos_dir, "--jobs", "2", "--retries", "10",
+            "--inject-faults", CHAOS,
+        )
+        chaos_manifest = json.loads(
+            (Path(chaos_dir) / "manifest.json").read_text()
+        )
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-hang-") as hang_dir:
+        hung, hung_s = _invoke(
+            hang_dir, "--jobs", "2", "--point-timeout", "2",
+            "--keep-going", "--inject-faults", HANGS,
+        )
+        hang_manifest = json.loads(
+            (Path(hang_dir) / "manifest.json").read_text()
+        )
+
+    assert chaos.stdout == clean.stdout, (
+        "chaos run output differs from fault-free run"
+    )
+    assert chaos_manifest["failed"] == 0
+    overhead = chaos_s / clean_s
+    assert overhead <= max_overhead, (
+        f"chaos overhead {overhead:.1f}x above {max_overhead:.1f}x "
+        f"(clean {clean_s:.2f}s, chaos {chaos_s:.2f}s)"
+    )
+
+    assert hung.returncode == 0, "keep-going run must exit 0"
+    assert hang_manifest["failed"] >= 1, "hang plan injected nothing"
+    assert "failed point:" in hung.stderr
+    assert "FAILED" in hung.stdout or "not rendered" in hung.stdout
+    # bounded by per-point timeouts, never by the 60s injected sleeps
+    assert hung_s < clean_s + hang_manifest["failed"] * 2 + 30
+
+    return {
+        "clean_s": clean_s,
+        "chaos_s": chaos_s,
+        "chaos_retried": chaos_manifest["retried"],
+        "overhead": overhead,
+        "hung_s": hung_s,
+        "hung_failed": hang_manifest["failed"],
+    }
+
+
+def test_bench_resilience():
+    """Pytest entry: chaos byte-identical, keep-going bounded + marked."""
+    bench_resilience()
+
+
+def main() -> int:
+    summary = bench_resilience()
+    print(
+        f"run all --preset quick: clean {summary['clean_s']:.2f}s; "
+        f"chaos ({CHAOS}) {summary['chaos_s']:.2f}s, "
+        f"{summary['chaos_retried']} point(s) retried, "
+        f"{summary['overhead']:.1f}x overhead, output byte-identical; "
+        f"keep-going with hangs ({HANGS}) {summary['hung_s']:.2f}s, "
+        f"{summary['hung_failed']} point(s) marked FAILED"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,10 +6,17 @@ violations — always bugs), and the semantically meaningful
 :class:`RegionConflictError`, which models the *region conflict exception*
 that CE/CE+/ARC deliver to a program whose synchronization-free regions
 conflict.
+
+The harness has its own failure taxonomy (:class:`HarnessError` and
+subclasses) mirroring the paper's fail-precisely philosophy: a sweep
+never corrupts or silently drops state — a simulation point either
+completes, or it surfaces as a *typed* failure (timeout, worker crash,
+point error) that the executor can retry, record and report.
 """
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass
 
 
@@ -31,6 +38,108 @@ class SimulationError(ReproError):
     Seeing this exception is always a bug in the simulator, never a
     property of the simulated program.
     """
+
+
+# --------------------------------------------------------------------------
+# harness failure taxonomy
+# --------------------------------------------------------------------------
+
+
+class HarnessError(ReproError):
+    """Base class for experiment-harness execution failures."""
+
+
+class PointTimeoutError(HarnessError):
+    """A simulation point exceeded its wall-clock budget.
+
+    Raised (or recorded as a :class:`PointFailure` under ``keep_going``)
+    after the executor has exhausted the point's retry budget.
+    """
+
+
+class WorkerCrashError(HarnessError):
+    """A worker process died (or the pool broke) while running a point.
+
+    Worker crashes are *transient* by classification: the executor
+    respawns the pool and resubmits only the lost points, up to the
+    retry budget.
+    """
+
+
+class PointFailedError(HarnessError):
+    """A simulation point raised a non-transient error, or a failed
+    point's result was consumed as if it had succeeded."""
+
+
+#: exception types the executor treats as transient (worth retrying):
+#: worker/transport trouble, never deterministic point errors.
+TRANSIENT_EXCEPTIONS: tuple[type[BaseException], ...] = (
+    WorkerCrashError,
+    pickle.PickleError,
+    EOFError,
+    ConnectionError,
+    OSError,
+    MemoryError,
+)
+
+
+def is_transient(exc: BaseException) -> bool:
+    """Whether a point failure is plausibly transient (retry may help).
+
+    ``BrokenProcessPool`` is handled separately by the executor (it is a
+    pool-level, not point-level, condition); everything else is judged by
+    type: transport/worker trouble retries, deterministic point errors
+    (bad trace, simulator invariant violation) fail immediately.
+    """
+    if isinstance(exc, (ConfigError, TraceError, SimulationError)):
+        return False
+    return isinstance(exc, TRANSIENT_EXCEPTIONS)
+
+
+@dataclass
+class PointFailure:
+    """Typed record of a simulation point that did not produce a result.
+
+    Under ``keep_going`` the executor returns these *in place of*
+    :class:`~repro.core.results.RunResult` at the failed point's index,
+    so reassembly order — and therefore every downstream table — stays
+    deterministic.  Consuming a failure as if it were a result (any
+    attribute a ``RunResult`` would have) raises
+    :class:`PointFailedError`, so partial results can never be silently
+    mistaken for complete ones.
+    """
+
+    key: str
+    workload: str
+    protocol: str
+    kind: str  # "timeout" | "crash" | "error"
+    attempts: int
+    message: str
+    seconds: float
+
+    #: discriminates failures from results without attribute magic
+    ok = False
+
+    def to_dict(self) -> dict:
+        return {
+            "key": self.key,
+            "workload": self.workload,
+            "protocol": self.protocol,
+            "kind": self.kind,
+            "attempts": self.attempts,
+            "message": self.message,
+            "seconds": round(self.seconds, 6),
+        }
+
+    def __getattr__(self, name: str):
+        # dunder lookups (pickle/copy protocol probes) must fall through
+        if name.startswith("__") and name.endswith("__"):
+            raise AttributeError(name)
+        raise PointFailedError(
+            f"point {self.workload}/{self.protocol} {self.kind} after "
+            f"{self.attempts} attempt(s): {self.message} "
+            f"(attribute {name!r} requested from a failed point)"
+        )
 
 
 @dataclass(frozen=True)

@@ -1,8 +1,16 @@
 """Experiment harness: registry of paper tables/figures, sweeps, rendering,
-parallel execution and the on-disk result cache."""
+parallel fault-tolerant execution and the on-disk result cache."""
 
 from .charts import chartable, render_bars
-from .executor import Executor, Manifest, SimPoint, WorkloadSpec, program_digest
+from .checkpoint import Checkpoint
+from .executor import (
+    Executor,
+    Manifest,
+    SimPoint,
+    WorkloadSpec,
+    program_digest,
+    resolve_jobs,
+)
 from .experiments import (
     REGISTRY,
     Experiment,
@@ -12,6 +20,7 @@ from .experiments import (
     run_experiment,
     set_executor,
 )
+from .faultinject import FaultPlan
 from .multiseed import SeedStats, aggregate_normalized, multiseed_table
 from .result_cache import ResultCache, default_cache_dir, point_key
 from .shapes import ShapeCheck, run_checks
@@ -19,7 +28,9 @@ from .sweep import SweepPoint, series, sweep
 from .tables import TextTable
 
 __all__ = [
+    "Checkpoint",
     "Executor",
+    "FaultPlan",
     "Experiment",
     "Manifest",
     "ResultCache",
@@ -36,6 +47,7 @@ __all__ = [
     "point_key",
     "program_digest",
     "render_bars",
+    "resolve_jobs",
     "run_checks",
     "REGISTRY",
     "Settings",

@@ -1,0 +1,124 @@
+"""Crash-recovery checkpoints for interrupted sweeps.
+
+A :class:`Checkpoint` is an append-only JSONL journal the executor
+updates as each simulation point settles: one line per point with its
+key, final status (``hit``/``miss``/``computed``/``retried``/``timeout``/
+``failed``), attempt count and timing.  Appends happen in *completion*
+order — the journal is a recovery artifact, not a diffable output, and
+the diffable outputs (tables, manifest entries) stay in submission
+order regardless.
+
+Recovery semantics on ``--resume``:
+
+* Points that *completed* are already served by the content-addressed
+  result cache — the journal just lets the harness report how much of
+  the interrupted run survives.
+* Points that *failed terminally* (timeout, crash or error after the
+  full retry budget) are replayed from the journal when ``keep_going``
+  is set, so a resumed sweep does not pay the timeout/retry budget for
+  a known-bad point all over again.  Without ``keep_going`` they are
+  re-attempted — a resume is an explicit request to try again.
+
+Writes are line-buffered appends from a single harness process; a crash
+mid-line leaves at most one truncated record, which :meth:`load` skips.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+#: statuses that mean "this point produced a result"
+COMPLETED_STATUSES = frozenset({"hit", "miss", "computed", "retried"})
+
+#: statuses that mean "this point terminally failed"
+FAILED_STATUSES = frozenset({"timeout", "failed"})
+
+
+class Checkpoint:
+    """Append-only per-point progress journal for one sweep."""
+
+    def __init__(self, path: str | Path, *, resume: bool = False):
+        self.path = Path(path)
+        self.entries: dict[str, dict] = {}
+        self.resumed_from = 0
+        if resume:
+            self.entries = self._load(self.path)
+            self.resumed_from = len(self.entries)
+        else:
+            # a fresh run owns the journal: start it empty
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self.path.write_text("")
+
+    @staticmethod
+    def _load(path: Path) -> dict[str, dict]:
+        entries: dict[str, dict] = {}
+        try:
+            text = path.read_text()
+        except OSError:
+            return entries
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                key = record["key"]
+                record["status"]
+            except (ValueError, KeyError, TypeError):
+                continue  # truncated tail from an interrupted append
+            entries[key] = record
+        return entries
+
+    # -- recording -------------------------------------------------------
+
+    def record(
+        self,
+        key: str,
+        status: str,
+        workload: str,
+        protocol: str,
+        seconds: float,
+        attempts: int = 1,
+        error: str | None = None,
+    ) -> None:
+        record = {
+            "key": key,
+            "status": status,
+            "workload": workload,
+            "protocol": protocol,
+            "seconds": round(seconds, 6),
+            "attempts": attempts,
+        }
+        if error is not None:
+            record["error"] = error
+        self.entries[key] = record
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+    # -- queries ---------------------------------------------------------
+
+    def status(self, key: str) -> str | None:
+        record = self.entries.get(key)
+        return None if record is None else record.get("status")
+
+    def completed(self, key: str) -> bool:
+        return self.status(key) in COMPLETED_STATUSES
+
+    def failed(self, key: str) -> dict | None:
+        """The journal record of a terminally failed point, or None."""
+        record = self.entries.get(key)
+        if record is not None and record.get("status") in FAILED_STATUSES:
+            return record
+        return None
+
+    def summary(self) -> dict:
+        statuses = [r.get("status") for r in self.entries.values()]
+        return {
+            "path": str(self.path),
+            "points": len(self.entries),
+            "completed": sum(s in COMPLETED_STATUSES for s in statuses),
+            "failed": sum(s in FAILED_STATUSES for s in statuses),
+            "resumed_from": self.resumed_from,
+        }

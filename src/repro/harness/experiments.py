@@ -158,19 +158,44 @@ def _suite_comparisons(settings: Settings, names=SUITE) -> dict[str, Comparison]
     return {name: out[name] for name in names}
 
 
+#: cell rendered for a point that terminally failed under ``keep_going``
+FAILED_CELL = "FAILED"
+
+
 def _normalized_table(
     title: str, comparisons: dict[str, Comparison], metric: str
 ) -> TextTable:
-    """Per-workload normalized metric + geomean row (a paper bar chart)."""
+    """Per-workload normalized metric + geomean row (a paper bar chart).
+
+    Failure-tolerant: under the executor's ``keep_going`` mode a failed
+    point is absent from its comparison, and its cell (the whole row,
+    when the MESI baseline itself failed) renders as ``FAILED``; the
+    geomean aggregates only the workloads that completed, so a partial
+    sweep still produces its tables with the gaps marked exactly.
+    """
     table = TextTable(title, ["workload"] + _PROTO_COLS)
     per_proto: dict[ProtocolKind, list[float]] = {p: [] for p in DETECTORS}
     for name, comparison in comparisons.items():
+        if ProtocolKind.MESI not in comparison.results:
+            table.add_row(name, *([FAILED_CELL] * len(DETECTORS)))
+            continue
         normalized = comparison.normalized(metric)
-        row = [normalized[p] for p in DETECTORS]
-        for p, v in zip(DETECTORS, row):
-            per_proto[p].append(v)
+        row: list[float | str] = []
+        for p in DETECTORS:
+            value = normalized.get(p)
+            if value is None:
+                row.append(FAILED_CELL)
+            else:
+                per_proto[p].append(value)
+                row.append(value)
         table.add_row(name, *row)
-    table.add_row("geomean", *(geomean(per_proto[p]) for p in DETECTORS))
+    table.add_row(
+        "geomean",
+        *(
+            geomean(per_proto[p]) if per_proto[p] else FAILED_CELL
+            for p in DETECTORS
+        ),
+    )
     return table
 
 

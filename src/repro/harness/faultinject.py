@@ -1,0 +1,175 @@
+"""Deterministic fault injection for the experiment harness.
+
+A :class:`FaultPlan` is a seeded chaos schedule: for every (point key,
+attempt) pair it decides — by hashing, never by global RNG state — whether
+to crash the worker, stall the point (an artificial hang that exercises
+the timeout path), fail pickling, or corrupt the point's cache entry
+after it is stored.  The same plan therefore injects the *same* faults
+into the same sweep on every run, which is what lets the chaos test
+suite assert exact outcomes:
+
+* with retries enabled, an injected-fault run must produce byte-identical
+  tables to a fault-free run (transient faults are absorbed);
+* with ``keep_going``, an injected hang must surface as exactly one
+  ``timeout`` entry in the manifest, and nothing else may change.
+
+Plans are tiny frozen dataclasses, picklable into worker processes.  The
+executor applies worker-side faults via :func:`apply_worker_fault` at the
+top of each point and cache corruption via :meth:`FaultPlan.corrupts`
+after each store.  Command lines build plans with :meth:`FaultPlan.parse`
+(``--inject-faults "seed=7,crash=0.2,slow=0.1,slow-seconds=5"``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import time
+from dataclasses import dataclass, fields
+
+from ..common.errors import ConfigError, WorkerCrashError
+
+#: exit status an injected crash kills the worker with (shows up in
+#: ``BrokenProcessPool`` messages, handy when debugging chaos runs)
+CRASH_EXIT_STATUS = 37
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded, per-(key, attempt) deterministic fault schedule.
+
+    Rates are independent probabilities in ``[0, 1]``, evaluated in a
+    fixed order (crash, slow, pickle) so at most one worker-side fault
+    fires per attempt.  ``corrupt_rate`` applies to cache stores and is
+    keyed per point, not per attempt.
+    """
+
+    seed: int = 0
+    crash_rate: float = 0.0
+    slow_rate: float = 0.0
+    slow_seconds: float = 30.0
+    pickle_rate: float = 0.0
+    corrupt_rate: float = 0.0
+
+    def __post_init__(self):
+        for name in ("crash_rate", "slow_rate", "pickle_rate", "corrupt_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigError(f"{name} must be in [0, 1], got {rate}")
+        if self.slow_seconds < 0:
+            raise ConfigError(f"slow_seconds must be >= 0, got {self.slow_seconds}")
+
+    # -- deterministic draws ---------------------------------------------
+
+    def _draw(self, kind: str, key: str, attempt: int) -> float:
+        """Uniform [0, 1) draw, a pure function of (seed, kind, key, attempt)."""
+        digest = hashlib.sha256(
+            f"{self.seed}:{kind}:{key}:{attempt}".encode("ascii")
+        ).digest()
+        return int.from_bytes(digest[:8], "big") / 2**64
+
+    def decide(self, key: str, attempt: int) -> str | None:
+        """Worker-side fault for this (point, attempt), or None.
+
+        Attempts draw independently, so a point that crashes on attempt
+        1 usually succeeds on attempt 2 — exactly the transient-failure
+        shape the retry machinery exists for.
+        """
+        if self._draw("crash", key, attempt) < self.crash_rate:
+            return "crash"
+        if self._draw("slow", key, attempt) < self.slow_rate:
+            return "slow"
+        if self._draw("pickle", key, attempt) < self.pickle_rate:
+            return "pickle"
+        return None
+
+    def corrupts(self, key: str) -> bool:
+        """Whether this point's cache entry gets corrupted after a store."""
+        return self._draw("corrupt", key, 0) < self.corrupt_rate
+
+    @property
+    def active(self) -> bool:
+        return any(
+            getattr(self, f) > 0
+            for f in ("crash_rate", "slow_rate", "pickle_rate", "corrupt_rate")
+        )
+
+    @property
+    def needs_pool(self) -> bool:
+        """Crash injection kills the hosting process; never in-process."""
+        return self.crash_rate > 0
+
+    # -- CLI spec --------------------------------------------------------
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Build a plan from ``k=v`` pairs: ``seed=7,crash=0.2,slow=0.1``.
+
+        Keys: ``seed``, ``crash``, ``slow``, ``slow-seconds``, ``pickle``,
+        ``corrupt`` (rate aliases drop the ``_rate`` suffix).
+        """
+        aliases = {
+            "crash": "crash_rate",
+            "slow": "slow_rate",
+            "slow-seconds": "slow_seconds",
+            "slow_seconds": "slow_seconds",
+            "pickle": "pickle_rate",
+            "corrupt": "corrupt_rate",
+            "seed": "seed",
+        }
+        kwargs: dict[str, float | int] = {}
+        for part in filter(None, (p.strip() for p in spec.split(","))):
+            if "=" not in part:
+                raise ConfigError(f"bad fault spec item {part!r} (expected k=v)")
+            raw_key, _, raw_value = part.partition("=")
+            field = aliases.get(raw_key.strip())
+            if field is None:
+                raise ConfigError(
+                    f"unknown fault spec key {raw_key.strip()!r}; "
+                    f"known: {sorted(set(aliases))}"
+                )
+            try:
+                kwargs[field] = (
+                    int(raw_value) if field == "seed" else float(raw_value)
+                )
+            except ValueError:
+                raise ConfigError(
+                    f"bad fault spec value {raw_value!r} for {raw_key.strip()!r}"
+                ) from None
+        return cls(**kwargs)
+
+    def describe(self) -> str:
+        parts = [f"seed={self.seed}"]
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name != "seed" and value:
+                parts.append(f"{f.name}={value:g}")
+        return ",".join(parts)
+
+
+def apply_worker_fault(
+    plan: FaultPlan, key: str, attempt: int, in_pool: bool
+) -> None:
+    """Apply the plan's worker-side fault (if any) for this attempt.
+
+    Called at the top of the worker entry point, before any simulation
+    work.  ``crash`` kills the worker process outright when running in a
+    pool (producing the ``BrokenProcessPool`` the executor must absorb)
+    and degrades to raising :class:`WorkerCrashError` in-process, so the
+    serial path exercises the same retry classification without taking
+    the harness down with it.
+    """
+    fault = plan.decide(key, attempt)
+    if fault == "crash":
+        if in_pool:
+            os._exit(CRASH_EXIT_STATUS)
+        raise WorkerCrashError(
+            f"injected worker crash (point {key[:12]}, attempt {attempt})"
+        )
+    if fault == "slow":
+        time.sleep(plan.slow_seconds)
+    elif fault == "pickle":
+        raise pickle.PicklingError(
+            f"injected pickle failure (point {key[:12]}, attempt {attempt})"
+        )

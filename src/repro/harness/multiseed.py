@@ -23,11 +23,17 @@ from .tables import TextTable
 
 @dataclass(frozen=True)
 class SeedStats:
-    """Normalized-metric statistics across seeds for one protocol."""
+    """Normalized-metric statistics across seeds for one protocol.
+
+    ``failures`` counts seeds whose point failed under the executor's
+    ``keep_going`` mode and were therefore excluded from the
+    aggregation — error bars over partial data say they are partial.
+    """
 
     mean: float
     minimum: float
     maximum: float
+    failures: int = 0
 
     @property
     def spread(self) -> float:
@@ -69,18 +75,33 @@ def aggregate_normalized(
         if owned:
             executor.close()
     samples: dict[ProtocolKind, list[float]] = {p: [] for p in protocols}
+    failures: dict[ProtocolKind, int] = {p: 0 for p in protocols}
     for comparison in comparisons:
+        if ProtocolKind.MESI not in comparison.results:
+            # baseline point failed (keep_going): the whole seed is out
+            for proto in protocols:
+                failures[proto] += 1
+            continue
         normalized = comparison.normalized(metric)
         for proto in protocols:
-            samples[proto].append(normalized[proto])
-    return {
-        proto: SeedStats(
-            mean=sum(values) / len(values),
-            minimum=min(values),
-            maximum=max(values),
-        )
-        for proto, values in samples.items()
-    }
+            value = normalized.get(proto)
+            if value is None:
+                failures[proto] += 1
+            else:
+                samples[proto].append(value)
+    out: dict[ProtocolKind, SeedStats] = {}
+    for proto, values in samples.items():
+        if values:
+            out[proto] = SeedStats(
+                mean=sum(values) / len(values),
+                minimum=min(values),
+                maximum=max(values),
+                failures=failures[proto],
+            )
+        else:
+            nan = float("nan")
+            out[proto] = SeedStats(nan, nan, nan, failures=failures[proto])
+    return out
 
 
 def multiseed_table(

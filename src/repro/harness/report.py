@@ -15,14 +15,26 @@ import sys
 import time
 from pathlib import Path
 
+from ..common.errors import HarnessError
 from .executor import Executor
 from .experiments import REGISTRY, Settings, run_experiment, set_executor
 from .result_cache import ResultCache, default_cache_dir
 from .shapes import run_checks
 
 
-def build_report(settings: Settings, exp_ids: list[str] | None = None) -> str:
-    """Run experiments and render the full Markdown report."""
+def build_report(
+    settings: Settings,
+    exp_ids: list[str] | None = None,
+    *,
+    keep_going: bool = False,
+) -> str:
+    """Run experiments and render the full Markdown report.
+
+    With ``keep_going`` (pair it with an executor in the same mode) an
+    experiment that cannot render because simulation points terminally
+    failed is kept in the report as an explicit **PARTIAL** section —
+    the document always says exactly which artifacts are incomplete.
+    """
     targets = exp_ids or list(REGISTRY)
     lines: list[str] = [
         "# Experiment report",
@@ -35,7 +47,20 @@ def build_report(settings: Settings, exp_ids: list[str] | None = None) -> str:
     for exp_id in targets:
         exp = REGISTRY[exp_id]
         start = time.perf_counter()
-        tables = run_experiment(exp_id, settings)
+        try:
+            tables = run_experiment(exp_id, settings)
+        except (HarnessError, KeyError, ValueError, ZeroDivisionError) as exc:
+            if not keep_going:
+                raise
+            elapsed = time.perf_counter() - start
+            lines.append(f"## {exp_id} — {exp.paper_artifact}")
+            lines.append("")
+            lines.append(
+                f"**PARTIAL** — not rendered: failed simulation points "
+                f"({type(exc).__name__}).  *({elapsed:.1f}s)*"
+            )
+            lines.append("")
+            continue
         elapsed = time.perf_counter() - start
         lines.append(f"## {exp_id} — {exp.paper_artifact}")
         lines.append("")
@@ -71,8 +96,9 @@ def main(argv: list[str] | None = None) -> int:
         "--preset", choices=("full", "bench", "quick"), default="full"
     )
     parser.add_argument(
-        "--jobs", type=int, default=1,
-        help="worker processes for simulation points (default: 1, serial)",
+        "--jobs", default="1",
+        help="worker processes for simulation points: a count or 'auto' "
+        "(default: 1, serial)",
     )
     parser.add_argument(
         "--cache-dir", default=None,
@@ -81,6 +107,19 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--no-cache", action="store_true",
         help="disable the on-disk result cache",
+    )
+    parser.add_argument(
+        "--point-timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget per simulation point",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="retries for transient point failures",
+    )
+    parser.add_argument(
+        "--keep-going", action="store_true",
+        help="render failed experiments as PARTIAL sections instead of "
+        "aborting the report",
     )
     parser.add_argument("experiments", nargs="*", help="subset of experiment ids")
     args = parser.parse_args(argv)
@@ -92,10 +131,18 @@ def main(argv: list[str] | None = None) -> int:
     cache = None
     if not args.no_cache:
         cache = ResultCache(args.cache_dir or default_cache_dir())
-    executor = Executor(jobs=args.jobs, cache=cache)
+    executor = Executor(
+        jobs=args.jobs,
+        cache=cache,
+        point_timeout=args.point_timeout,
+        retries=args.retries,
+        keep_going=args.keep_going,
+    )
     set_executor(executor)
     try:
-        report = build_report(settings, args.experiments or None)
+        report = build_report(
+            settings, args.experiments or None, keep_going=args.keep_going
+        )
     finally:
         set_executor(None)
         executor.close()

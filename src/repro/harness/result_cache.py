@@ -99,6 +99,16 @@ class CacheStats:
     stores: int = 0
     discarded: int = 0
 
+    @property
+    def corrupt_evictions(self) -> int:
+        """Entries evicted because they failed verification on ``get``.
+
+        Every discard is a corrupt (truncated, bit-flipped, stale-schema
+        or mistyped) entry — surfaced in the run manifest and the CLI
+        timing summary so silent disk rot is never actually silent.
+        """
+        return self.discarded
+
 
 class ResultCache:
     """On-disk result store, sharded by the first key byte."""
@@ -166,3 +176,20 @@ class ResultCache:
                 pass
             raise
         self.stats.stores += 1
+
+    def corrupt_entry(self, key: str) -> bool:
+        """Flip the last byte of ``key``'s entry (fault injection only).
+
+        Used by the chaos harness to prove the self-verifying read path:
+        the next :meth:`get` must detect the damage, evict the entry and
+        report a miss.  Returns False when no entry exists.
+        """
+        path = self.path_for(key)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            return False
+        if not blob:
+            return False
+        path.write_bytes(blob[:-1] + bytes([blob[-1] ^ 0xFF]))
+        return True

@@ -8,14 +8,22 @@ Usage::
     python -m repro.harness.run all --preset quick --jobs 4
     python -m repro.harness.run fig_aim_sensitivity --threads 16 --scale 1.0
 
-``--jobs N`` fans simulation points out across N worker processes;
-results reassemble deterministically, so stdout is byte-identical to a
-serial run.  An on-disk result cache (``~/.cache/repro`` unless
+``--jobs N`` fans simulation points out across N worker processes
+(``--jobs auto`` clamps to the CPU count); results reassemble
+deterministically, so stdout is byte-identical to a serial run.  An
+on-disk result cache (``~/.cache/repro`` unless
 ``--cache-dir``/``$REPRO_CACHE_DIR`` says otherwise) makes repeated
 invocations skip identical simulations; ``--no-cache`` disables it.
 Every invocation writes ``manifest.json`` into the cache directory,
-recording each point's key, timing and hit/miss.  Timings go to stderr
-so stdout stays a stable, diffable artifact.
+recording each point's key, timing and per-point status.  Timings go to
+stderr so stdout stays a stable, diffable artifact.
+
+Fault tolerance (see docs/RESILIENCE.md): ``--point-timeout`` bounds
+each point's wall clock, ``--retries`` absorbs transient worker
+crashes, ``--keep-going`` turns terminal point failures into ``FAILED``
+table cells instead of aborting the sweep, ``--resume`` continues an
+interrupted sweep from the checkpoint journal, and ``--inject-faults``
+runs the sweep under a seeded chaos plan (testing the harness itself).
 """
 
 from __future__ import annotations
@@ -25,9 +33,12 @@ import sys
 import time
 from dataclasses import replace
 
+from ..common.errors import HarnessError
 from .charts import chartable, render_bars
+from .checkpoint import Checkpoint
 from .executor import Executor
 from .experiments import REGISTRY, Settings, run_experiment, set_executor
+from .faultinject import FaultPlan
 from .result_cache import ResultCache, default_cache_dir
 
 
@@ -105,7 +116,32 @@ def _build_executor(args: argparse.Namespace) -> Executor:
     cache = None
     if not args.no_cache:
         cache = ResultCache(args.cache_dir or default_cache_dir())
-    return Executor(jobs=args.jobs, cache=cache)
+    checkpoint = None
+    if cache is not None:
+        checkpoint = Checkpoint(
+            cache.root / "checkpoint.jsonl", resume=args.resume
+        )
+        if args.resume:
+            summary = checkpoint.summary()
+            print(
+                f"[resume: {summary['completed']} completed, "
+                f"{summary['failed']} failed point(s) journaled in "
+                f"{summary['path']}]",
+                file=sys.stderr,
+            )
+    plan = None
+    if args.inject_faults:
+        plan = FaultPlan.parse(args.inject_faults)
+        print(f"[faultinject: {plan.describe()}]", file=sys.stderr)
+    return Executor(
+        jobs=args.jobs,
+        cache=cache,
+        point_timeout=args.point_timeout,
+        retries=args.retries,
+        keep_going=args.keep_going,
+        fault_plan=plan,
+        checkpoint=checkpoint,
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -122,8 +158,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--scale", type=float, default=None)
     parser.add_argument("--seed", type=int, default=None)
     parser.add_argument(
-        "--jobs", type=int, default=1,
-        help="worker processes for simulation points (default: 1, serial)",
+        "--jobs", default="1",
+        help="worker processes for simulation points: a count, or 'auto' "
+        "to clamp to the CPU count (default: 1, serial)",
     )
     parser.add_argument(
         "--cache-dir", default=None,
@@ -132,6 +169,33 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--no-cache", action="store_true",
         help="disable the on-disk result cache",
+    )
+    parser.add_argument(
+        "--point-timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget per simulation point; a hung point's "
+        "worker is killed and the point retried or failed",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="retry transient point failures (worker crash, pool "
+        "breakage) up to N times with exponential backoff",
+    )
+    parser.add_argument(
+        "--keep-going", action="store_true",
+        help="don't abort on a terminally failed point: record it, mark "
+        "its cells FAILED and finish the rest of the sweep",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="resume an interrupted sweep from the checkpoint journal "
+        "in the cache directory (completed points are cache hits; "
+        "with --keep-going, known-failed points are not re-attempted)",
+    )
+    parser.add_argument(
+        "--inject-faults", default=None, metavar="SPEC",
+        help="run under a deterministic chaos plan, e.g. "
+        "'seed=7,crash=0.2,slow=0.05,slow-seconds=5,corrupt=0.2,"
+        "pickle=0.1' (harness self-test)",
     )
     parser.add_argument(
         "--chart", action="store_true",
@@ -160,13 +224,27 @@ def main(argv: list[str] | None = None) -> int:
         if not prescreen(settings, strict=args.analyze_strict):
             if args.analyze_strict:
                 return 3
+    if args.resume and args.no_cache:
+        parser.error("--resume needs the cache (its checkpoint journal)")
     targets = list(REGISTRY) if args.experiment == "all" else [args.experiment]
     executor = _build_executor(args)
     set_executor(executor)
     try:
         for exp_id in targets:
             start = time.perf_counter()
-            tables = run_experiment(exp_id, settings)
+            try:
+                tables = run_experiment(exp_id, settings)
+            except (HarnessError, KeyError, ValueError, ZeroDivisionError):
+                if not args.keep_going:
+                    raise
+                # an experiment whose rendering cannot survive missing
+                # points degrades to an explicit partial-failure marker
+                elapsed = time.perf_counter() - start
+                print(f"[{exp_id}: {elapsed:.1f}s, PARTIAL]", file=sys.stderr)
+                print(f"\n### {exp_id} ({REGISTRY[exp_id].paper_artifact})\n")
+                print("[not rendered: failed simulation points "
+                      "(--keep-going); see stderr and manifest]\n")
+                continue
             elapsed = time.perf_counter() - start
             print(f"[{exp_id}: {elapsed:.1f}s]", file=sys.stderr)
             print(f"\n### {exp_id} ({REGISTRY[exp_id].paper_artifact})\n")
@@ -176,19 +254,39 @@ def main(argv: list[str] | None = None) -> int:
                 else:
                     print(table.render())
                 print()
+    except KeyboardInterrupt:
+        # hung workers must not block the exit path; the checkpoint
+        # journal and cache already hold every settled point
+        executor.terminate()
+        print("[interrupted: partial progress checkpointed; rerun with "
+              "--resume]", file=sys.stderr)
+        raise
     finally:
         set_executor(None)
         executor.close()
 
     manifest = executor.manifest
     summary = (
-        f"[executor: jobs={args.jobs} points={len(manifest.entries)} "
+        f"[executor: jobs={executor.jobs} points={len(manifest.entries)} "
         f"hits={manifest.hits} misses={manifest.misses}"
     )
+    if manifest.retried:
+        summary += f" retried={manifest.retried}"
+    if manifest.failed:
+        summary += f" timeouts={manifest.timeouts} failed={manifest.failed}"
     if executor.cache is not None:
+        summary += f" corrupt_evictions={manifest.corrupt_evictions}"
         path = manifest.write(executor.cache.root / "manifest.json")
         summary += f" manifest={path}"
     print(summary + "]", file=sys.stderr)
+    for failure in executor.point_failures:
+        print(
+            f"[failed point: workload={failure.workload} "
+            f"protocol={failure.protocol} kind={failure.kind} "
+            f"attempts={failure.attempts} key={failure.key[:12]}: "
+            f"{failure.message}]",
+            file=sys.stderr,
+        )
     return 0
 
 

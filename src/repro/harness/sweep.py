@@ -27,10 +27,21 @@ from .result_cache import ResultCache
 
 @dataclass(frozen=True)
 class SweepPoint:
-    """One (parameter value, result) pair."""
+    """One (parameter value, result) pair.
+
+    Under an executor in ``keep_going`` mode ``result`` may be a
+    :class:`~repro.common.errors.PointFailure`; ``ok`` distinguishes the
+    two, and consuming a failed point's metrics raises
+    :class:`~repro.common.errors.PointFailedError` rather than yielding
+    garbage.
+    """
 
     value: Any
     result: RunResult
+
+    @property
+    def ok(self) -> bool:
+        return getattr(self.result, "ok", True)
 
     def metric(self, name: str) -> float:
         return self.result.summary()[name]
