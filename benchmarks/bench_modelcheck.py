@@ -1,0 +1,148 @@
+"""Model-checker memoization and sanitizer overhead benchmarks.
+
+Two costs bound the verification machinery's usefulness:
+
+* **Pass-1 state pruning.**  The explorer memoizes on
+  ``(positions, protocol.snapshot())``; whenever two interleaving
+  prefixes commute into the same concrete protocol state, the whole
+  subtree is explored once.  On the ping-pong shape that stresses this
+  hardest (two cores alternating writes/reads over two lines) the naive
+  prefix-keyed exploration revisits thousands of equivalent states.
+  This benchmark runs both on a length-6 alternation at depth 12 and
+  asserts memoization prunes at least 5x states (measured: ~43x).
+* **Sanitizer drag.**  ``--sanitize`` re-checks line-scoped invariants
+  after every dispatch of a full-size run; it is only usable as an
+  always-on debugging mode if it stays well under 2x.  This benchmark
+  times a full racy synthetic workload per protocol, sanitized vs
+  plain (best-of-N to shed scheduler noise), and asserts < 2x each.
+
+Run standalone (``python benchmarks/bench_modelcheck.py``) for a
+report, or through pytest.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.common.config import SystemConfig
+from repro.core.simulator import Simulator
+from repro.modelcheck.driver import Driver
+from repro.modelcheck.explorer import explore_workload
+from repro.modelcheck.workload import MCEvent
+from repro.synth import build_workload
+from repro.trace.events import READ, WRITE
+
+WORKLOAD = "racy-writers"
+THREADS = 4
+SCALE = 1.0
+REPS = 6
+PROTOCOLS = ("mesi", "ce", "ce+", "arc")
+
+_R = lambda s: MCEvent(READ, s)  # noqa: E731
+_W = lambda s: MCEvent(WRITE, s)  # noqa: E731
+
+#: length-6 two-line ping-pong: the maximally commuting shape, where
+#: prefix-keyed naive exploration degenerates while snapshots collapse
+ALTERNATION = (
+    (_W(0), _R(1), _W(0), _R(1), _W(0), _R(1)),
+    (_W(1), _R(0), _W(1), _R(0), _W(1), _R(0)),
+)
+DEPTH = 12
+
+
+def bench_memoization(min_prune: float = 5.0) -> dict:
+    driver = Driver("mesi", cores=2, addrs=2)
+
+    start = time.perf_counter()
+    naive = explore_workload(driver, ALTERNATION, DEPTH, memoize=False)
+    naive_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    memo = explore_workload(driver, ALTERNATION, DEPTH, memoize=True)
+    memo_s = time.perf_counter() - start
+
+    assert naive.violation is None and memo.violation is None
+    prune = naive.states / memo.states
+    assert prune >= min_prune, (
+        f"memoization pruned only {prune:.1f}x states "
+        f"(naive {naive.states}, memoized {memo.states}); need {min_prune}x"
+    )
+    return {
+        "naive_states": naive.states,
+        "memo_states": memo.states,
+        "prune": prune,
+        "naive_s": naive_s,
+        "memo_s": memo_s,
+    }
+
+
+def _overhead_pair(protocol: str, program) -> tuple[float, float]:
+    """Best-of-REPS plain and sanitized times, reps interleaved so load
+    drift during the measurement hits both modes equally."""
+
+    def one(sanitize: bool) -> float:
+        sim = Simulator(
+            SystemConfig(num_cores=THREADS, protocol=protocol),
+            program,
+            sanitize=sanitize,
+        )
+        start = time.perf_counter()
+        sim.run()
+        return time.perf_counter() - start
+
+    plain = sanitized = float("inf")
+    for _ in range(REPS):
+        plain = min(plain, one(False))
+        sanitized = min(sanitized, one(True))
+    return plain, sanitized
+
+
+def bench_sanitizer(max_overhead: float = 2.0) -> dict:
+    program = build_workload(WORKLOAD, num_threads=THREADS, seed=1, scale=SCALE)
+    rows = {}
+    for protocol in PROTOCOLS:
+        plain, sanitized = _overhead_pair(protocol, program)
+        overhead = sanitized / plain
+        assert overhead < max_overhead, (
+            f"{protocol}: sanitizer overhead {overhead:.2f}x "
+            f"(plain {plain:.3f}s, sanitized {sanitized:.3f}s) "
+            f"exceeds {max_overhead:.1f}x"
+        )
+        rows[protocol] = {
+            "plain_s": plain,
+            "sanitized_s": sanitized,
+            "overhead": overhead,
+        }
+    return rows
+
+
+def test_bench_memoization():
+    """Pytest entry: snapshot memoization prunes at least 5x states."""
+    bench_memoization(min_prune=5.0)
+
+
+def test_bench_sanitizer():
+    """Pytest entry: --sanitize overhead stays under 2x per protocol."""
+    bench_sanitizer(max_overhead=2.0)
+
+
+def main() -> int:
+    memo = bench_memoization(min_prune=5.0)
+    print(
+        f"memoization (alternation len=6, depth={DEPTH}): "
+        f"naive {memo['naive_states']} states {memo['naive_s']*1e3:.0f}ms vs "
+        f"memoized {memo['memo_states']} states {memo['memo_s']*1e3:.0f}ms — "
+        f"{memo['prune']:.1f}x pruned"
+    )
+    for protocol, row in bench_sanitizer(max_overhead=2.0).items():
+        print(
+            f"sanitize {protocol}: plain {row['plain_s']*1e3:.0f}ms, "
+            f"sanitized {row['sanitized_s']*1e3:.0f}ms — "
+            f"{row['overhead']:.2f}x"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,8 @@ capacity effects.
 
 from __future__ import annotations
 
+import os
+
 from ..common.config import SystemConfig
 from ..mem.address import AddressMap
 from ..mem.cache import SetAssocCache
@@ -41,10 +43,17 @@ class Machine:
         "dram",
         "llc_banks",
         "stats",
+        "sanitize",
     )
 
-    def __init__(self, cfg: SystemConfig):
+    def __init__(self, cfg: SystemConfig, *, sanitize: bool | None = None):
         self.cfg = cfg
+        # Coherence invariant sanitizer (repro.modelcheck.sanitize).  The
+        # environment variable is the cross-process switch: harness
+        # workers are forked/spawned and re-build their own Machines.
+        if sanitize is None:
+            sanitize = bool(os.environ.get("REPRO_SANITIZE"))
+        self.sanitize = sanitize
         self.amap = AddressMap(cfg.line_size, cfg.num_banks)
         self.topology = MeshTopology(cfg.mesh_width, cfg.mesh_height)
         self.net = MeshNetwork(self.topology, cfg.noc)

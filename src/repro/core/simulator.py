@@ -69,7 +69,14 @@ class Simulator:
     access is memory-proportional to the trace).
     """
 
-    def __init__(self, cfg: SystemConfig, program: Program, recorder=None):
+    def __init__(
+        self,
+        cfg: SystemConfig,
+        program: Program,
+        recorder=None,
+        *,
+        sanitize: bool | None = None,
+    ):
         if program.num_threads > cfg.num_cores:
             raise TraceError(
                 f"program has {program.num_threads} threads but the machine "
@@ -77,7 +84,8 @@ class Simulator:
             )
         self.cfg = cfg
         self.program = program
-        self.machine = Machine(cfg)
+        # sanitize=None defers to $REPRO_SANITIZE (the cross-process switch)
+        self.machine = Machine(cfg, sanitize=sanitize)
         self.protocol = make_protocol(self.machine)
         self.protocol.active_cores = program.num_threads
         self.recorder = recorder

@@ -29,6 +29,7 @@ runs the sweep under a seeded chaos plan (testing the harness itself).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from dataclasses import replace
@@ -207,11 +208,24 @@ def main(argv: list[str] | None = None) -> int:
         "(races + lint) and annotate stderr before running",
     )
     parser.add_argument(
+        "--sanitize", action="store_true",
+        help="arm the coherence invariant sanitizer in every simulation "
+        "(repro.modelcheck): per-dispatch SWMR/directory/metadata checks "
+        "that raise at the first violated invariant; stdout is unchanged",
+    )
+    parser.add_argument(
         "--analyze-strict", action="store_true",
         help="like --analyze, but exit 3 on error-severity findings "
         "instead of running",
     )
     args = parser.parse_args(argv)
+
+    if args.sanitize:
+        # The env var (not a flag threaded through call sites) so that
+        # forked/spawned harness workers inherit the setting when they
+        # rebuild their own Machines.
+        os.environ["REPRO_SANITIZE"] = "1"
+        print("[sanitize: coherence invariant checks armed]", file=sys.stderr)
 
     if args.list or not args.experiment:
         print(f"{'experiment id':26s}  {'paper artifact':28s}  description")

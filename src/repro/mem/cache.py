@@ -95,6 +95,11 @@ class SetAssocCache:
         for entries in self._sets:
             yield from entries.items()
 
+    def raw_sets(self) -> list[dict[int, Any]]:
+        """The per-set entry dicts, for *read-only* fast scans — callers
+        must not mutate them (the sanitizer's bulk checks)."""
+        return self._sets
+
     def invalidate_where(
         self, predicate: Callable[[int, Any], bool]
     ) -> list[tuple[int, Any]]:

@@ -144,3 +144,8 @@ class PrivateHierarchy:
         yield from self.l1.items()
         if self.l2 is not None:
             yield from self.l2.items()
+
+    def levels(self) -> tuple:
+        """The resident cache levels, for read-only bulk scans that want
+        to iterate set dicts directly (e.g. the sanitizer)."""
+        return (self.l1,) if self.l2 is None else (self.l1, self.l2)

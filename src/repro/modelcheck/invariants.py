@@ -1,0 +1,468 @@
+"""The declarative invariant suite checked at every reachable state.
+
+Each invariant is a pure function of one :class:`~repro.modelcheck.driver.Run`
+(the live protocol instance plus the driver's ghost state) returning a
+list of :class:`Violation`.  The same functions back three consumers:
+
+* the exhaustive explorer, which runs every applicable invariant at
+  every newly reached state of every interleaving;
+* the sanitizer (:mod:`repro.modelcheck.sanitize`), which compiles the
+  line-scoped subset into cheap per-dispatch assertions for full-size
+  simulations;
+* ``docs/MODELCHECK.md``, whose catalogue is generated from
+  :data:`INVARIANTS`.
+
+Applicability is duck-typed on protocol structure (``directory`` for
+the MESI family, ``meta_table`` for CE/CE+, ``aim`` for CE+,
+``owner_table`` for ARC) so the module never imports the protocol
+classes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from ..protocols.base import DIRTY_STATES, E, M, O, S, STATE_NAMES
+from ..trace.events import ACQUIRE, BARRIER
+
+if TYPE_CHECKING:
+    from .driver import Run
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant failure at one reachable state."""
+
+    invariant: str
+    message: str
+    core: int | None = None
+    line: int | None = None
+
+    def render(self) -> str:
+        where = []
+        if self.core is not None:
+            where.append(f"core {self.core}")
+        if self.line is not None:
+            where.append(f"line {self.line:#x}")
+        suffix = f" ({', '.join(where)})" if where else ""
+        return f"{self.invariant}: {self.message}{suffix}"
+
+
+# --------------------------------------------------------------------------
+# helpers
+# --------------------------------------------------------------------------
+
+
+def _cached_lines(run: "Run") -> set[int]:
+    lines: set[int] = set()
+    for core in range(run.cores):
+        for line, _payload in run.protocol.l1[core].items():
+            lines.add(line)
+    return lines
+
+
+def _holders(run: "Run", line: int) -> dict[int, object]:
+    out = {}
+    for core in range(run.cores):
+        payload = run.protocol.l1[core].peek(line)
+        if payload is not None:
+            out[core] = payload
+    return out
+
+
+# --------------------------------------------------------------------------
+# MESI-family invariants
+# --------------------------------------------------------------------------
+
+
+def check_swmr(run: "Run") -> list[Violation]:
+    """Single-writer/multiple-reader over L1 states.
+
+    At most one core holds a line in M/E/O; an E/M holder is the *only*
+    holder; an O holder coexists only with S copies.
+    """
+    violations = []
+    for line in sorted(_cached_lines(run)):
+        holders = _holders(run, line)
+        states = {core: payload.state for core, payload in holders.items()}
+        exclusive = [c for c, s in states.items() if s in (E, M)]
+        owned = [c for c, s in states.items() if s == O]
+        if len(exclusive) + len(owned) > 1:
+            violations.append(Violation(
+                "swmr",
+                "multiple owners: "
+                + ", ".join(
+                    f"core {c}={STATE_NAMES[s]}" for c, s in sorted(states.items())
+                ),
+                line=line,
+            ))
+        elif exclusive and len(states) > 1:
+            violations.append(Violation(
+                "swmr",
+                f"core {exclusive[0]} holds "
+                f"{STATE_NAMES[states[exclusive[0]]]} while "
+                f"{len(states) - 1} other copy/copies exist",
+                line=line,
+            ))
+    return violations
+
+
+def check_directory_precision(run: "Run") -> list[Violation]:
+    """The full-map directory mirrors the caches exactly.
+
+    The owner field names the unique M/E/O holder (or -1), and the
+    sharer bitmask names exactly the S holders — the precision CE's
+    invalidation-time conflict checks rely on.
+    """
+    violations = []
+    protocol = run.protocol
+    lines = _cached_lines(run) | set(protocol.directory)
+    for line in sorted(lines):
+        holders = _holders(run, line)
+        states = {core: payload.state for core, payload in holders.items()}
+        entry = protocol.directory.get(line)
+        owner = entry.owner if entry is not None else -1
+        sharers = set(entry.sharer_list()) if entry is not None else set()
+        owners = sorted(c for c, s in states.items() if s in (E, M, O))
+        expected_owner = owners[0] if len(owners) == 1 else -1
+        s_holders = {c for c, s in states.items() if s == S}
+        if owners and owner != expected_owner:
+            violations.append(Violation(
+                "directory-precision",
+                f"owner field {owner} but M/E/O holder(s) {owners}",
+                line=line,
+            ))
+        elif not owners and owner != -1:
+            violations.append(Violation(
+                "directory-precision",
+                f"owner field {owner} but no core holds M/E/O",
+                line=line,
+            ))
+        if sharers != s_holders:
+            violations.append(Violation(
+                "directory-precision",
+                f"sharer mask {sorted(sharers)} but S holders "
+                f"{sorted(s_holders)}",
+                line=line,
+            ))
+    return violations
+
+
+def check_ghost_values(run: "Run") -> list[Violation]:
+    """Data-value consistency against the ghost memory.
+
+    Under eager invalidation every cached copy holds the line's current
+    version: a write bumps the global version and invalidates every
+    other copy, so a surviving stale copy means an invalidation was
+    skipped.
+    """
+    violations = []
+    for core in range(run.cores):
+        for line in sorted(run.shadow[core]):
+            held = run.shadow[core][line]
+            current = run.ghost.get(line, 0)
+            if held != current:
+                violations.append(Violation(
+                    "ghost-value",
+                    f"cached copy holds version {held}, memory is at "
+                    f"{current}",
+                    core=core,
+                    line=line,
+                ))
+    return violations
+
+
+# --------------------------------------------------------------------------
+# CE / CE+ invariants
+# --------------------------------------------------------------------------
+
+
+def check_ce_liveness(run: "Run") -> list[Violation]:
+    """CE access-bit liveness: dead metadata is inert, live metadata is
+    accounted.
+
+    A spilled entry tagged with the core's *current* region must be in
+    that core's spill log (so the boundary clear reaches it), and must
+    not coexist with a live in-cache copy of the same line (a re-fetch
+    always re-fills and removes the spilled entry).  Entries tagged with
+    a dead region index may linger (lazy reclamation) but are never
+    consulted — the mutation tests pin that behaviorally.
+    """
+    violations = []
+    protocol = run.protocol
+    for line, core, entry in protocol.meta_table.items():
+        if core >= run.cores:
+            violations.append(Violation(
+                "ce-liveness", "spilled entry for an idle core",
+                core=core, line=line,
+            ))
+            continue
+        if entry.region != protocol.region[core]:
+            continue  # dead entry: semantically cleared, reclaimed lazily
+        if line not in protocol.spill_log[core]:
+            violations.append(Violation(
+                "ce-liveness",
+                f"live spilled entry (region {entry.region}) missing from "
+                "the spill log — the boundary clear would leak it",
+                core=core, line=line,
+            ))
+        payload = protocol.l1[core].peek(line)
+        if payload is not None and payload.region == protocol.region[core]:
+            violations.append(Violation(
+                "ce-liveness",
+                "live spilled entry coexists with a live cached copy "
+                "(re-fetch must re-fill and remove it)",
+                core=core, line=line,
+            ))
+    return violations
+
+
+def check_aim_inclusion(run: "Run") -> list[Violation]:
+    """AIM slice inclusion/geometry: every resident metadata entry is
+    homed at its slice's bank and occupancy respects capacity."""
+    violations = []
+    protocol = run.protocol
+    machine = run.machine
+    for bank, aim_slice in enumerate(protocol.aim):
+        occupancy = aim_slice.cache.occupancy()
+        if occupancy > run.cfg.aim.num_entries:
+            violations.append(Violation(
+                "aim-inclusion",
+                f"slice {bank} holds {occupancy} entries, capacity "
+                f"{run.cfg.aim.num_entries}",
+            ))
+        for line, _entry in aim_slice.cache.items():
+            if machine.home_bank(line) != bank:
+                violations.append(Violation(
+                    "aim-inclusion",
+                    f"entry homed at bank {machine.home_bank(line)} "
+                    f"resident in slice {bank}",
+                    line=line,
+                ))
+    return violations
+
+
+# --------------------------------------------------------------------------
+# ARC invariants
+# --------------------------------------------------------------------------
+
+
+def check_arc_classification(run: "Run") -> list[Violation]:
+    """Owner-table consistency: private lines are cached only by their
+    owner (with ``shared=False``); lines cached by anyone after a
+    second accessor are marked SHARED and every copy knows it."""
+    from ..protocols.arc import SHARED
+
+    violations = []
+    protocol = run.protocol
+    for line in sorted(_cached_lines(run)):
+        holders = _holders(run, line)
+        owner = protocol.owner_table.get(line)
+        if owner is None:
+            violations.append(Violation(
+                "arc-classification", "cached line was never classified",
+                line=line,
+            ))
+            continue
+        if owner == SHARED:
+            for core, payload in sorted(holders.items()):
+                if not payload.shared:
+                    violations.append(Violation(
+                        "arc-classification",
+                        "SHARED line cached with shared=False",
+                        core=core, line=line,
+                    ))
+        else:
+            for core, payload in sorted(holders.items()):
+                if core != owner:
+                    violations.append(Violation(
+                        "arc-classification",
+                        f"private line (owner {owner}) cached by another "
+                        "core without a shared transition",
+                        core=core, line=line,
+                    ))
+                elif payload.shared:
+                    violations.append(Violation(
+                        "arc-classification",
+                        "private line cached with shared=True",
+                        core=core, line=line,
+                    ))
+    return violations
+
+
+def check_arc_boundary(run: "Run") -> list[Violation]:
+    """Self-invalidation/self-downgrade correctness at boundaries.
+
+    Immediately after a core's region boundary it holds no dirty shared
+    line (self-downgrade flushed them) and no pending unregistered
+    deltas; after an ACQUIRE/BARRIER it holds no shared line at all
+    (self-invalidation), so no stale read can follow the boundary.
+    Always: a line queued in ``dirty_shared`` is a cached shared line.
+    """
+    violations = []
+    protocol = run.protocol
+    for core in range(run.cores):
+        for line in sorted(protocol.dirty_shared[core]):
+            payload = protocol.l1[core].peek(line)
+            if payload is None or not payload.shared:
+                violations.append(Violation(
+                    "arc-boundary",
+                    "dirty-shared queue names a line that is "
+                    + ("not cached" if payload is None else "not shared"),
+                    core=core, line=line,
+                ))
+    last = run.last_step
+    if last is None or last[1].is_access():
+        return violations
+    core, event = last
+    if protocol.pending_delta[core]:
+        violations.append(Violation(
+            "arc-boundary",
+            "unregistered deltas survived the region-end flush",
+            core=core,
+        ))
+    for line, payload in protocol.l1[core].items():
+        if payload.dirty and payload.shared:
+            violations.append(Violation(
+                "arc-boundary",
+                "dirty shared line survived the self-downgrade",
+                core=core, line=line,
+            ))
+        if event.kind in (ACQUIRE, BARRIER) and payload.shared:
+            violations.append(Violation(
+                "arc-boundary",
+                "shared line survived self-invalidation at an acquire — "
+                "a stale read is now possible",
+                core=core, line=line,
+            ))
+    return violations
+
+
+# --------------------------------------------------------------------------
+# protocol-independent invariants
+# --------------------------------------------------------------------------
+
+
+def check_region_counts(run: "Run") -> list[Violation]:
+    """Region indices advance by exactly one per boundary event."""
+    violations = []
+    for core in range(run.cores):
+        if run.protocol.region[core] != run.boundaries[core]:
+            violations.append(Violation(
+                "region-count",
+                f"region index {run.protocol.region[core]} after "
+                f"{run.boundaries[core]} boundary event(s)",
+                core=core,
+            ))
+    return violations
+
+
+def check_dirty_states(run: "Run") -> list[Violation]:
+    """MESI-family state sanity: payload states are within the lattice
+    and DIRTY_STATES membership matches M/O exactly."""
+    violations = []
+    for line in sorted(_cached_lines(run)):
+        for core, payload in sorted(_holders(run, line).items()):
+            if payload.state not in STATE_NAMES:
+                violations.append(Violation(
+                    "state-lattice",
+                    f"unknown L1 state {payload.state!r}",
+                    core=core, line=line,
+                ))
+            elif (payload.state in DIRTY_STATES) != (payload.state in (M, O)):
+                violations.append(Violation(
+                    "state-lattice",
+                    f"DIRTY_STATES disagrees with state "
+                    f"{STATE_NAMES[payload.state]}",
+                    core=core, line=line,
+                ))
+    return violations
+
+
+# --------------------------------------------------------------------------
+# registry
+# --------------------------------------------------------------------------
+
+
+def _is_mesi_family(run: "Run") -> bool:
+    return hasattr(run.protocol, "directory")
+
+
+def _is_ce_family(run: "Run") -> bool:
+    return hasattr(run.protocol, "meta_table")
+
+
+def _has_aim(run: "Run") -> bool:
+    return hasattr(run.protocol, "aim")
+
+
+def _is_arc(run: "Run") -> bool:
+    return hasattr(run.protocol, "owner_table")
+
+
+@dataclass(frozen=True)
+class Invariant:
+    """One declarative invariant: name, applicability, checker, summary."""
+
+    name: str
+    applies: Callable[["Run"], bool]
+    check: Callable[["Run"], list[Violation]]
+    summary: str
+
+
+INVARIANTS: tuple[Invariant, ...] = (
+    Invariant(
+        "swmr", _is_mesi_family, check_swmr,
+        "at most one core in M/E/O per line; E/M holders are sole holders; "
+        "O coexists only with S copies",
+    ),
+    Invariant(
+        "directory-precision", _is_mesi_family, check_directory_precision,
+        "directory owner/sharer fields name exactly the M/E/O holder and "
+        "the S holders",
+    ),
+    Invariant(
+        "state-lattice", _is_mesi_family, check_dirty_states,
+        "L1 states stay within S<O<E<M and DIRTY_STATES is exactly {M, O}",
+    ),
+    Invariant(
+        "ghost-value", lambda run: _is_mesi_family(run) and run.track_values,
+        check_ghost_values,
+        "every cached copy holds the ghost memory's current version "
+        "(data-value consistency under eager invalidation)",
+    ),
+    Invariant(
+        "ce-liveness", _is_ce_family, check_ce_liveness,
+        "live spilled metadata is in the spill log and never coexists "
+        "with a live cached copy; dead-region metadata is inert",
+    ),
+    Invariant(
+        "aim-inclusion", _has_aim, check_aim_inclusion,
+        "AIM slices hold only entries homed at their bank, within "
+        "capacity",
+    ),
+    Invariant(
+        "arc-classification", _is_arc, check_arc_classification,
+        "owner table and per-line shared flags agree with actual cached "
+        "copies",
+    ),
+    Invariant(
+        "arc-boundary", _is_arc, check_arc_boundary,
+        "boundaries flush dirty shared lines and deltas; acquires leave "
+        "no shared line cached (no stale read after a boundary)",
+    ),
+    Invariant(
+        "region-count", lambda run: True, check_region_counts,
+        "region indices advance by exactly one per boundary event",
+    ),
+)
+
+
+def check_state(run: "Run") -> list[Violation]:
+    """Run every applicable invariant against the run's current state."""
+    violations: list[Violation] = []
+    for invariant in INVARIANTS:
+        if invariant.applies(run):
+            violations.extend(invariant.check(run))
+    return violations

@@ -1,0 +1,119 @@
+"""Counterexample minimization and replayable trace programs.
+
+A counterexample is a flat list of ``(core, event)`` steps — one
+interleaving prefix that violates an invariant.  Because scripted
+events carry no inter-step dependencies (boundaries are driven
+directly, never blocking), *every subsequence is itself a valid
+program*, which makes greedy event deletion a sound shrinker: repeatedly
+drop any single step whose removal still reproduces the failure, to a
+fixpoint.
+
+Minimized counterexamples render as replayable trace programs — a
+line-oriented text format that :func:`parse_trace` reads back and
+:func:`replay_trace` executes against a fresh protocol instance, so a
+failure printed by CI can be reproduced in three lines of Python.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..trace.events import ACQUIRE, READ, RELEASE, WRITE
+from .driver import Driver, Run
+from .workload import MCEvent
+
+#: one interleaving: ordered (core, event) steps
+Steps = list[tuple[int, MCEvent]]
+
+_OP_NAMES = {READ: "R", WRITE: "W", RELEASE: "REL", ACQUIRE: "ACQ"}
+_OP_KINDS = {name: kind for kind, name in _OP_NAMES.items()}
+
+#: line size of the model-checking machine (driver geometry is fixed)
+_LINE_SIZE = 64
+
+
+def minimize(
+    steps: Sequence[tuple[int, MCEvent]],
+    reproduces: Callable[[Steps], bool],
+) -> Steps:
+    """Greedy event-deletion shrinking to a 1-minimal counterexample.
+
+    Returns the shortest subsequence found such that no single further
+    deletion still reproduces (``reproduces(minimized)`` is True and
+    dropping any one step makes it False).
+    """
+    current: Steps = list(steps)
+    changed = True
+    while changed:
+        changed = False
+        i = 0
+        while i < len(current):
+            candidate = current[:i] + current[i + 1:]
+            if candidate and reproduces(candidate):
+                current = candidate
+                changed = True
+            else:
+                i += 1
+    return current
+
+
+# --------------------------------------------------------------------------
+# the replayable trace-program format
+# --------------------------------------------------------------------------
+
+
+def render_trace(steps: Sequence[tuple[int, MCEvent]]) -> str:
+    """Render steps as a replayable trace program (one step per line)."""
+    lines = []
+    for index, (core, event) in enumerate(steps):
+        if event.is_access():
+            addr = event.slot * _LINE_SIZE + event.offset
+            lines.append(
+                f"step {index:2d}: core {core} "
+                f"{_OP_NAMES[event.kind]} {addr:#06x}"
+            )
+        else:
+            lines.append(f"step {index:2d}: core {core} {_OP_NAMES[event.kind]}")
+    return "\n".join(lines)
+
+
+def parse_trace(text: str) -> Steps:
+    """Parse a :func:`render_trace` program back into steps."""
+    steps: Steps = []
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        # "step N: core C OP [ADDR]"
+        _, _, rest = line.partition(":")
+        tokens = (rest or line).split()
+        if len(tokens) < 3 or tokens[0] != "core":
+            raise ValueError(f"unparseable trace step: {raw!r}")
+        core = int(tokens[1])
+        op = tokens[2]
+        if op not in _OP_KINDS:
+            raise ValueError(f"unknown op {op!r} in trace step: {raw!r}")
+        kind = _OP_KINDS[op]
+        if kind in (READ, WRITE):
+            if len(tokens) < 4:
+                raise ValueError(f"access step missing address: {raw!r}")
+            addr = int(tokens[3], 0)
+            steps.append(
+                (core, MCEvent(kind, addr // _LINE_SIZE, addr % _LINE_SIZE))
+            )
+        else:
+            steps.append((core, MCEvent(kind)))
+    return steps
+
+
+def replay_trace(
+    protocol: str, cores: int, addrs: int, text: str, mutate=None
+) -> Run:
+    """Replay a rendered trace program on a fresh protocol instance.
+
+    Returns the finished :class:`~repro.modelcheck.driver.Run`, whose
+    protocol/stats/recorder state can then be inspected (or re-checked
+    with :func:`repro.modelcheck.invariants.check_state`).
+    """
+    driver = Driver(protocol, cores, addrs, mutate=mutate)
+    return driver.replay(parse_trace(text))

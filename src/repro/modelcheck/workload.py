@@ -1,0 +1,158 @@
+"""Bounded workloads for the protocol model checker.
+
+A model-checking workload gives each active core a short *script* of
+events over a tiny alphabet: reads and writes to a handful of line-sized
+address slots, plus two region-boundary kinds (a RELEASE-like local
+boundary and an ACQUIRE-like synchronizing boundary, which is what
+triggers ARC's self-invalidation).  The explorer then drives the real
+protocol classes through every interleaving of the scripts.
+
+Two sources of workloads:
+
+* :func:`enumerate_workloads` — every multiset of per-core scripts of a
+  given length over the full alphabet.  Cores are symmetric (identical
+  private caches, and the driver assigns cycles by global step index),
+  so enumerating *multisets* instead of tuples explores the same
+  behaviors with far fewer runs.
+* :func:`curated_scenarios` — named, deeper scripts targeting mechanisms
+  the short enumeration cannot reach: metadata spills under eviction
+  pressure, conflicts spanning several regions, byte-granularity false
+  sharing, post-barrier self-invalidation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations_with_replacement, product
+
+from ..trace.events import ACQUIRE, READ, RELEASE, WRITE
+
+#: bytes touched by every model-checking access (sub-line, so distinct
+#: offsets within one line can be genuinely disjoint)
+ACCESS_SIZE = 4
+
+
+@dataclass(frozen=True)
+class MCEvent:
+    """One scripted step: a data access or a region boundary.
+
+    ``kind`` is a :mod:`repro.trace.events` constant (READ/WRITE for
+    accesses, RELEASE/ACQUIRE for boundaries); ``slot`` indexes the
+    workload's address slots (line number), ``offset`` the byte offset
+    within the line.  Boundaries carry ``slot = -1``.
+    """
+
+    kind: int
+    slot: int = -1
+    offset: int = 0
+
+    def is_access(self) -> bool:
+        return self.kind in (READ, WRITE)
+
+    def label(self) -> str:
+        if self.kind == READ:
+            return f"R{self.slot}" + (f"+{self.offset}" if self.offset else "")
+        if self.kind == WRITE:
+            return f"W{self.slot}" + (f"+{self.offset}" if self.offset else "")
+        return "REL" if self.kind == RELEASE else "ACQ"
+
+
+#: one core's script
+Script = tuple[MCEvent, ...]
+#: one workload: a script per active core
+Workload = tuple[Script, ...]
+
+
+def alphabet(addrs: int) -> tuple[MCEvent, ...]:
+    """The event alphabet over ``addrs`` address slots."""
+    events: list[MCEvent] = []
+    for slot in range(addrs):
+        events.append(MCEvent(READ, slot))
+        events.append(MCEvent(WRITE, slot))
+    events.append(MCEvent(RELEASE))
+    events.append(MCEvent(ACQUIRE))
+    return tuple(events)
+
+
+def enumerate_workloads(cores: int, addrs: int, script_len: int) -> list[Workload]:
+    """Every multiset of ``cores`` scripts of ``script_len`` events.
+
+    Script order within a workload is irrelevant (cores are symmetric),
+    so ``combinations_with_replacement`` over the script space suffices;
+    for 2 cores x 2 addresses x length 2 this is 666 workloads instead
+    of 1296 ordered pairs.
+    """
+    scripts = [tuple(s) for s in product(alphabet(addrs), repeat=script_len)]
+    return [tuple(w) for w in combinations_with_replacement(scripts, cores)]
+
+
+def default_script_len(cores: int) -> int:
+    """Enumeration depth that keeps the workload count tractable."""
+    return 2 if cores <= 2 else 1
+
+
+# --------------------------------------------------------------------------
+# curated deep scenarios
+# --------------------------------------------------------------------------
+
+_R = lambda s, off=0: MCEvent(READ, s, off)  # noqa: E731
+_W = lambda s, off=0: MCEvent(WRITE, s, off)  # noqa: E731
+_REL = MCEvent(RELEASE)
+_ACQ = MCEvent(ACQUIRE)
+
+
+def curated_scenarios(cores: int, addrs: int) -> list[tuple[str, Workload]]:
+    """Named deep scripts (2-core shaped; extra cores idle).
+
+    Each targets a mechanism the length-2 enumeration cannot compose:
+    eviction-driven metadata spills, conflicts that straddle several
+    regions, byte-disjoint false sharing, and stale-read windows after
+    synchronizing boundaries.  Scenarios referencing a third address
+    slot are only emitted when ``addrs >= 3``.
+    """
+    idle: Script = ()
+    pad = (idle,) * max(0, cores - 2)
+
+    scenarios: list[tuple[str, Workload]] = [
+        # racing write/read with region structure on both sides
+        ("write-read-race",
+         ((_W(0), _W(0), _REL), (_R(0), _REL)) + pad),
+        # write whose bits must survive a same-region re-fetch
+        ("rewrite-refetch",
+         ((_W(0), _R(1), _W(0), _REL), (_W(0), _ACQ)) + pad),
+        # boundary kills the bits: accesses in later regions must not conflict
+        ("boundary-liveness",
+         ((_W(0), _REL, _R(0), _REL), (_W(0), _REL, _W(0))) + pad),
+        # reader must self-invalidate at ACQ and re-fetch fresh data
+        ("self-invalidate",
+         ((_W(0), _REL, _W(0), _REL), (_R(0), _ACQ, _R(0))) + pad),
+        # byte-disjoint accesses to one line: never a conflict
+        ("false-sharing",
+         ((_W(0, 0), _W(0, 0), _REL), (_R(0, 8), _W(0, 8), _REL)) + pad),
+        # deep ping-pong over two lines (the memoization stress shape)
+        ("deep-alternation",
+         ((_W(0), _R(1), _W(0), _R(1)), (_W(1), _R(0), _W(1), _R(0))) + pad),
+        # conflict completed by a region that never ends (finalize path)
+        ("open-final-region",
+         ((_W(0), _REL), (_REL, _R(0))) + pad),
+        # empty regions adjacent to a conflicting pair
+        ("empty-regions",
+         ((_REL, _REL, _W(0), _REL), (_REL, _R(0), _REL, _REL)) + pad),
+    ]
+    if addrs >= 3:
+        scenarios.append(
+            # three lines through a 2-line L1: forced evictions, so CE
+            # spills and re-fills mid-region and the AIM sees pressure
+            ("spill-pressure",
+             ((_W(0), _R(1), _R(2), _W(0), _REL),
+              (_R(0), _W(2), _ACQ, _R(0))) + pad),
+        )
+    return scenarios
+
+
+def workload_label(workload: Workload) -> str:
+    """Stable human-readable name: per-core scripts joined by ``||``."""
+    return " || ".join(
+        ".".join(e.label() for e in script) if script else "idle"
+        for script in workload
+    )

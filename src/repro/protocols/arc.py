@@ -488,7 +488,7 @@ class ArcProtocol(CoherenceProtocol):
         machine = self.machine
         worst = 0
         count = 0
-        for line in lines:
+        for line in sorted(lines):  # deterministic flush order
             payload = self.l1[core].get(line, touch=False)
             if payload is None or payload.region != self.region[core]:
                 continue
@@ -521,7 +521,7 @@ class ArcProtocol(CoherenceProtocol):
         machine = self.machine
         worst = 0
         count = 0
-        for line in lines:
+        for line in sorted(lines):  # deterministic writeback order
             payload = self.l1[core].get(line, touch=False)
             if payload is None or not payload.dirty:
                 continue
@@ -545,7 +545,7 @@ class ArcProtocol(CoherenceProtocol):
             return 0
         net = self.machine.net
         worst = 0
-        for bank in banks:
+        for bank in sorted(banks):  # deterministic message order
             self.stats.arc_clear_messages += 1
             worst = max(worst, net.send(core, bank, 0, REGION, cycle))
         count = len(banks)
@@ -558,3 +558,48 @@ class ArcProtocol(CoherenceProtocol):
         dropped = self.l1[core].invalidate_where(lambda _addr, p: p.shared)
         self.stats.self_invalidated_lines += len(dropped)
         return self.cfg.l1.hit_latency
+
+    # -- model-checker fingerprint ------------------------------------------------
+
+    def snapshot(self) -> tuple:
+        caches = []
+        for core in range(self.cfg.num_cores):
+            region = self.region[core]
+            per_core = []
+            for line, p in self.l1[core].items():  # LRU order is behavior
+                live = p.region == region
+                per_core.append((
+                    line,
+                    p.dirty,
+                    p.shared,
+                    # masks of an ended region are stale by construction
+                    p.read_mask if live else 0,
+                    p.write_mask if live else 0,
+                    p.reg_read_mask if live else 0,
+                    p.reg_write_mask if live else 0,
+                ))
+            caches.append(tuple(per_core))
+        # Per (line, core) the entry list's *order* is behavior (the
+        # newest entry is the merge target), so keep it; sort across keys.
+        table = tuple(sorted(
+            (
+                line,
+                core,
+                tuple((e.read_mask, e.write_mask, e.region) for e in entries),
+            )
+            for line, per_line in self.access_info.items()
+            for core, entries in per_line.items()
+        ))
+        return super().snapshot() + (
+            tuple(caches),
+            tuple(sorted(self.owner_table.items())),
+            table,
+            # Interval bookkeeping carries cycle stamps: path-dependent,
+            # so ARC fingerprints merge less than the MESI family's.
+            tuple(tuple(sorted(ends.items())) for ends in self.region_ends),
+            tuple(self.region_start),
+            self._horizon,
+            tuple(tuple(sorted(s)) for s in self.dirty_shared),
+            tuple(tuple(sorted(s)) for s in self.pending_delta),
+            tuple(tuple(sorted(s)) for s in self._touched_banks),
+        )

@@ -31,9 +31,13 @@ from ..common.errors import ConflictRecord, RegionConflictError, SimulationError
 if TYPE_CHECKING:
     from ..core.machine import Machine
 
-# L1 M(O)ESI states (invalid = line absent from the cache).  Ordering
-# matters: write hits are silent only in E and above; O sits below E
-# because a write to an Owned line must first invalidate the sharers.
+# L1 M(O)ESI states (invalid = line absent from the cache).  The
+# numeric order encodes the write-permission lattice S < O < E < M: a
+# write hit is silent if and only if ``state >= E`` (E/M imply no other
+# copy exists).  O deliberately sits *below* E even though it holds
+# dirty data — an Owned line may have S copies outstanding, so a write
+# to it must take the upgrade path and invalidate the sharers first,
+# exactly like a write to S.  tests/test_state_lattice.py pins this.
 S = 1
 O = 2
 E = 3
@@ -105,6 +109,12 @@ class CoherenceProtocol(ABC):
         # (ARC's interval reclamation) must ignore them.  The simulator
         # sets this to the program's thread count.
         self.active_cores = n
+        if getattr(machine, "sanitize", False):
+            # Deferred import: the sanitizer lives in repro.modelcheck,
+            # which imports the protocol classes.
+            from ..modelcheck.sanitize import arm_protocol
+
+            arm_protocol(self)
 
     # -- simulator-facing API ---------------------------------------------------
 
@@ -139,6 +149,21 @@ class CoherenceProtocol(ABC):
 
     def finalize(self, cycle: int) -> None:
         """Called once when the program drains; default does nothing."""
+
+    # -- model-checker state fingerprint ------------------------------------------
+
+    def snapshot(self) -> tuple:
+        """A hashable fingerprint of the protocol's semantic state.
+
+        The model checker memoizes exploration on these: two
+        interleavings reaching equal snapshots are merged.  Subclasses
+        extend the tuple with their own structures and must (a) include
+        everything that can influence future behavior — including cache
+        *ordering*, since LRU decides victims — and (b) canonicalize
+        away state that cannot, e.g. access masks whose region already
+        ended (semantically flash-cleared).
+        """
+        return (tuple(self.region),)
 
     # -- conflict reporting -------------------------------------------------------
 

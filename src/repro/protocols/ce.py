@@ -20,10 +20,15 @@ metadata, every region-end clear is an off-chip metadata transfer of
 ``metadata_bytes``.  In-cache access bits, by contrast, clear for free
 at region end (flash clear, modeled by the region tag).
 
-Eager invalidation is what makes miss-time spilled-metadata checks
-sufficient: a sharer holding live read bits can only lose them through
-an invalidation (checked), and a core can only be reading a line whose
-writer spilled if it re-fetches it (checked at the home).
+Coherence actions alone are *not* sufficient: once a core holds a line
+with write permission (or an S copy after a downgrade), later accesses
+in *new* local regions are silent hits with no coherence action, yet
+can conflict with a remote region that is still open.  CE's cache
+lines therefore also carry **remote** access bits summarizing other
+cores' live accesses, checked locally on every access — free, since no
+message leaves the core (``_remote_bits_check``).  The bounded model
+checker (``repro.modelcheck``) found the concrete misses that motivate
+this; docs/MODELCHECK.md walks through them.
 """
 
 from __future__ import annotations
@@ -75,6 +80,68 @@ class CeProtocol(MesiProtocol):
         else:
             payload.read_mask |= mask
         self.stats.metadata_checks += 1
+        self._remote_bits_check(core, line, mask, is_write, cycle)
+
+    def _remote_bits_check(
+        self, core: int, line: int, mask: int, is_write: bool, cycle: int
+    ) -> None:
+        """In-cache *remote* access bits (ISCA 2010).
+
+        Every CE line also summarizes other cores' still-live accesses,
+        kept current by the home on fills, downgrades and spills, so
+        even a *silent* hit (E/M, or a read in S) in a new local region
+        detects a conflict against a remote region that is still open.
+        The consult is local — no message, no added latency, no
+        metadata traffic — modeled as a free check of (a) live bits
+        other holders carry in their L1s (an M→S downgrade leaves the
+        writer's bits live in S) and (b) live spilled metadata.
+        Without it CE misses exactly the hit-after-own-boundary pairs
+        the model checker's oracle cross-check flags (see
+        docs/MODELCHECK.md).
+        """
+        entry = self.directory.get(line)
+        if entry is not None:
+            holders = entry.sharer_list()
+            if entry.owner != -1:
+                holders.append(entry.owner)
+            for other in holders:
+                if other == core:
+                    continue
+                remote = self.l1[other].get(line, touch=False)
+                if remote is None or remote.region != self.region[other]:
+                    continue
+                if is_write:
+                    overlap = mask & (remote.read_mask | remote.write_mask)
+                    first_was_write = bool(mask & remote.write_mask)
+                else:
+                    overlap = mask & remote.write_mask
+                    first_was_write = True
+                if overlap:
+                    self.report_conflict(
+                        cycle=cycle,
+                        line_addr=line,
+                        byte_mask=overlap,
+                        first_core=other,
+                        first_region=remote.region,
+                        first_was_write=first_was_write,
+                        second_core=core,
+                        second_was_write=is_write,
+                        detected_by="remote-bits",
+                    )
+        for other, meta in self.meta_table.live_others(line, core, self.region):
+            overlap = meta.conflicts_with(mask, is_write)
+            if overlap:
+                self.report_conflict(
+                    cycle=cycle,
+                    line_addr=line,
+                    byte_mask=overlap,
+                    first_core=other,
+                    first_region=meta.region,
+                    first_was_write=bool(mask & meta.write_mask) if is_write else True,
+                    second_core=core,
+                    second_was_write=is_write,
+                    detected_by="remote-bits",
+                )
 
     def _check_remote(
         self,
@@ -183,7 +250,7 @@ class CeProtocol(MesiProtocol):
         net = self.machine.net
         worst = 0
         count = 0
-        for line in log:
+        for line in sorted(log):  # deterministic clear order
             if self.meta_table.remove(line, core) is None:
                 continue  # already reclaimed (e.g. re-filled then re-spilled race)
             count += 1
@@ -196,3 +263,16 @@ class CeProtocol(MesiProtocol):
         if count == 0:
             return 0
         return worst + 2 * (count - 1)
+
+    # -- model-checker fingerprint --------------------------------------------------
+
+    def snapshot(self) -> tuple:
+        # Dead (region-ended) spilled entries are semantically cleared;
+        # drop them so lazily-reclaimed and reclaimed states merge.
+        live_meta = tuple(sorted(
+            (line, core, entry.read_mask, entry.write_mask)
+            for line, core, entry in self.meta_table.items()
+            if entry.region == self.region[core]
+        ))
+        logs = tuple(tuple(sorted(log)) for log in self.spill_log)
+        return super().snapshot() + (live_meta, logs)

@@ -32,3 +32,15 @@ class CePlusProtocol(CeProtocol):
 
     def _meta_store_write(self, bank: int, line: int, cycle: int) -> int:
         return self.aim[bank].write(line, cycle)
+
+    def snapshot(self) -> tuple:
+        # AIM residency/dirtiness in items() (LRU) order: it decides
+        # victims and off-chip writebacks, so it is future behavior.
+        slices = tuple(
+            tuple(
+                (line, payload.dirty)
+                for line, payload in aim_slice.cache.items()
+            )
+            for aim_slice in self.aim
+        )
+        return super().snapshot() + (slices,)

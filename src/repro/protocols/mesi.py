@@ -395,3 +395,35 @@ class MesiProtocol(CoherenceProtocol):
             entry.owner = -1
         entry.sharers &= ~(1 << core)
         self._on_line_removed(core, line, payload, cycle)
+
+    # -- model-checker fingerprint --------------------------------------------------
+
+    def snapshot(self) -> tuple:
+        caches = []
+        for core in range(self.cfg.num_cores):
+            region = self.region[core]
+            caches.append(tuple(
+                (
+                    # items() order is LRU order: it decides victims, so
+                    # it is behavior and belongs in the fingerprint.
+                    line,
+                    payload.state,
+                    # Masks of an ended region are semantically cleared;
+                    # canonicalize them to zero so states merge.
+                    payload.read_mask if payload.region == region else 0,
+                    payload.write_mask if payload.region == region else 0,
+                )
+                for line, payload in self.l1[core].items()
+            ))
+        directory = tuple(
+            (line, entry.owner, entry.sharers)
+            for line, entry in sorted(self.directory.items())
+            if entry.owner != -1 or entry.sharers
+        )
+        bounded = ()
+        if self.dir_store is not None:
+            bounded = tuple(
+                tuple(line for line, _entry in store.items())
+                for store in self.dir_store
+            )
+        return super().snapshot() + (tuple(caches), directory, bounded)

@@ -97,5 +97,16 @@ class AccessInfoTable:
             del self._table[line]
         return live
 
+    def items(self):
+        """Iterate ``(line, core, entry)`` over every stored record.
+
+        Read-only introspection for the model checker's liveness
+        invariants and the sanitizer; iteration order is insertion order
+        (deterministic) and must not be relied on for semantics.
+        """
+        for line, per_line in self._table.items():
+            for core, entry in per_line.items():
+                yield line, core, entry
+
     def __len__(self) -> int:
         return sum(len(per_line) for per_line in self._table.values())

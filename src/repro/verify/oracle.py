@@ -141,6 +141,43 @@ def ce_conflicts(
     return found
 
 
+def expected_conflicts(
+    recorder: ScheduleRecorder, protocol
+) -> tuple[set[ConflictKey], set[ConflictKey]]:
+    """``(must_detect, may_detect)`` bounds for one exact schedule.
+
+    This is the model checker's per-interleaving ground truth, usable
+    whenever recorded timing is exact (the checker assigns cycles by
+    global step index, so there is no photo-finish skew and no margin).
+    Every key in ``must_detect`` that goes unreported is a completeness
+    violation; every reported key outside ``may_detect`` is a soundness
+    violation.
+
+    * MESI detects nothing: both bounds empty.
+    * CE / CE+ detect *exactly* the second-access-during-first-region
+      subset — eager checks fire at the moment of the second access
+      (coherence action, home metadata check, or the in-cache remote
+      bits on a silent hit), so the bounds coincide.
+    * ARC is lazy: it must catch everything CE would (registration and
+      delta flushes are checked no later than region end / finalize)
+      and may additionally report any region-overlap conflict, but
+      cannot promise *all* of them — a line written privately in a
+      region that ends before the second core's first touch loses its
+      masks by design (private lines never register), and such pairs
+      are region-serializable anyway.  docs/MODELCHECK.md shows the
+      three-step counterexample.
+    """
+    from ..common.config import ProtocolKind
+
+    kind = ProtocolKind(protocol) if not isinstance(protocol, ProtocolKind) else protocol
+    if kind is ProtocolKind.MESI:
+        return set(), set()
+    if kind is ProtocolKind.ARC:
+        return set(ce_conflicts(recorder)), set(overlap_conflicts(recorder))
+    exact = set(ce_conflicts(recorder))
+    return exact, exact
+
+
 def detected_keys(conflicts) -> set[ConflictKey]:
     """Normalize a detector's ConflictRecords to oracle keys."""
     keys: set[ConflictKey] = set()

@@ -1,0 +1,284 @@
+"""Model checker tests: exhaustive gate, mutations, shrinking, sanitizer.
+
+The headline assertions mirror the merge gate: every protocol's bounded
+state space is exhausted with zero violations, and deliberately broken
+protocols (per-instance mutations) produce minimized, replayable
+counterexample traces naming the violated invariant.
+"""
+
+import types
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.core.machine import Machine
+from repro.core.simulator import Simulator
+from repro.common.config import SystemConfig
+from repro.modelcheck import (
+    COMPLETENESS,
+    SOUNDNESS,
+    Driver,
+    check_protocol,
+    check_state,
+    minimize,
+    modelcheck_config,
+    parse_trace,
+    render_trace,
+    replay_trace,
+)
+from repro.modelcheck.workload import MCEvent, curated_scenarios, enumerate_workloads
+from repro.protocols import make_protocol
+from repro.trace import Program, TraceBuilder
+from repro.trace.events import ACQUIRE, READ, RELEASE, WRITE
+
+ALL_KEYS = ("mesi", "ce", "ceplus", "aim", "arc")
+
+
+# --------------------------------------------------------------------------
+# deliberate protocol mutations (per-instance, applied by the driver)
+# --------------------------------------------------------------------------
+
+
+def skip_invalidations(protocol):
+    """MESI family: write upgrades/misses no longer invalidate S copies."""
+    protocol._invalidate_sharers = lambda *args, **kwargs: 0
+
+
+def blind_detection(protocol):
+    """CE family: drop the eager conflict checks entirely."""
+    protocol._check_remote = lambda *args, **kwargs: None
+    protocol._remote_bits_check = lambda *args, **kwargs: None
+
+
+def ignore_region_tag(protocol):
+    """CE family: report conflicts against *dead* (region-ended) bits."""
+
+    def unguarded(self, holder, payload, line, req_core, mask, req_is_write,
+                  cycle, via):
+        if req_is_write:
+            overlap = mask & (payload.read_mask | payload.write_mask)
+            first_was_write = bool(mask & payload.write_mask)
+        else:
+            overlap = mask & payload.write_mask
+            first_was_write = True
+        if overlap:
+            self.report_conflict(
+                cycle=cycle, line_addr=line, byte_mask=overlap,
+                first_core=holder, first_region=payload.region,
+                first_was_write=first_was_write, second_core=req_core,
+                second_was_write=req_is_write, detected_by=via,
+            )
+
+    protocol._check_remote = types.MethodType(unguarded, protocol)
+
+
+def skip_self_invalidation(protocol):
+    """ARC: acquires no longer invalidate shared lines (stale reads)."""
+    protocol._self_invalidate = lambda core: 0
+
+
+# --------------------------------------------------------------------------
+# the merge gate: zero violations on every protocol
+# --------------------------------------------------------------------------
+
+
+class TestExhaustiveGate:
+    @pytest.mark.parametrize("key", ALL_KEYS)
+    def test_bounded_space_is_clean(self, key):
+        result = check_protocol(key, cores=2, addrs=2)
+        assert result.ok, "\n".join(
+            ce.render() for ce in result.counterexamples
+        )
+        assert result.workloads > 600
+        assert result.states_explored > 1000
+        assert result.interleavings > 4000
+        assert result.truncated_workloads == 0
+
+    def test_memoization_only_changes_state_counts(self):
+        naive = check_protocol(
+            "mesi", include_enumerated=False, memoize=False
+        )
+        memo = check_protocol("mesi", include_enumerated=False, memoize=True)
+        assert naive.ok and memo.ok
+        # pass 2 (oracle cross-check) never uses the memo table
+        assert naive.interleavings == memo.interleavings
+        # converged machine states merge: fewer states, fewer expansions
+        assert memo.states_explored < naive.states_explored
+        assert memo.state_visits < naive.state_visits
+
+
+class TestMutations:
+    """A broken protocol must yield a minimized, replayable counterexample."""
+
+    def _first(self, key, mutate, **kwargs):
+        result = check_protocol(key, fail_fast=True, mutate=mutate, **kwargs)
+        assert not result.ok
+        return result.counterexamples[0]
+
+    def test_mesi_skipped_invalidation_breaks_swmr(self):
+        ce = self._first("mesi", skip_invalidations)
+        assert ce.invariant in ("swmr", "directory-precision", "ghost-value")
+        assert 0 < len(ce.minimized) <= len(ce.steps)
+        # the rendered trace replays to the same violation
+        run = replay_trace("mesi", 2, 2, ce.trace, mutate=skip_invalidations)
+        assert any(v.invariant == ce.invariant for v in check_state(run))
+
+    def test_ce_blind_detection_is_incomplete(self):
+        ce = self._first("ce", blind_detection)
+        assert ce.invariant == COMPLETENESS
+        run = replay_trace("ce", 2, 2, ce.trace, mutate=blind_detection)
+        run.finalize()
+        from repro.verify.oracle import detected_keys, expected_conflicts
+
+        must, _may = expected_conflicts(run.recorder, run.cfg.protocol)
+        assert must - detected_keys(run.protocol.stats.conflicts)
+
+    def test_ce_dead_region_bits_are_unsound(self):
+        ce = self._first("ce", ignore_region_tag)
+        assert ce.invariant == SOUNDNESS
+        run = replay_trace("ce", 2, 2, ce.trace, mutate=ignore_region_tag)
+        run.finalize()
+        from repro.verify.oracle import detected_keys, expected_conflicts
+
+        _must, may = expected_conflicts(run.recorder, run.cfg.protocol)
+        assert detected_keys(run.protocol.stats.conflicts) - may
+
+    def test_arc_skipped_self_invalidation_is_caught(self):
+        ce = self._first("arc", skip_self_invalidation)
+        assert ce.invariant == "arc-boundary"
+        run = replay_trace("arc", 2, 2, ce.trace, mutate=skip_self_invalidation)
+        assert any(v.invariant == ce.invariant for v in check_state(run))
+
+    def test_minimized_traces_are_one_minimal(self):
+        """No single further deletion of a minimized trace reproduces."""
+        ce = self._first("mesi", skip_invalidations)
+        steps = parse_trace(ce.trace)
+
+        def reproduces(candidate):
+            driver = Driver("mesi", 2, 2, mutate=skip_invalidations)
+            run = driver.new_run()
+            for core, event in candidate:
+                run.step(core, event)
+                if any(v.invariant == ce.invariant for v in check_state(run)):
+                    return True
+            return False
+
+        assert reproduces(steps)
+        for i in range(len(steps)):
+            candidate = steps[:i] + steps[i + 1:]
+            assert not (candidate and reproduces(candidate)), (
+                f"dropping step {i} still reproduces — not 1-minimal"
+            )
+
+
+# --------------------------------------------------------------------------
+# workloads, shrinking, trace round-trips
+# --------------------------------------------------------------------------
+
+
+class TestWorkloads:
+    def test_enumeration_is_symmetry_reduced(self):
+        workloads = list(enumerate_workloads(2, 2, 2))
+        wset = set(workloads)
+        assert len(workloads) == len(wset)
+        # multisets: the mirrored assignment of scripts to cores is absent
+        for w in workloads:
+            if w[0] != w[1]:
+                assert tuple(reversed(w)) not in wset
+
+    def test_scenarios_cover_every_boundary_kind(self):
+        kinds = set()
+        for _label, workload in curated_scenarios(2, 2):
+            for script in workload:
+                kinds.update(e.kind for e in script)
+        assert {READ, WRITE, RELEASE, ACQUIRE} <= kinds
+
+
+class TestShrinking:
+    def test_minimize_reaches_fixpoint(self):
+        steps = [(0, MCEvent(READ, 0)), (1, MCEvent(WRITE, 0)),
+                 (0, MCEvent(READ, 1)), (1, MCEvent(RELEASE))]
+        # reproduce iff the write survives
+        minimized = minimize(
+            steps, lambda s: any(e.kind == WRITE for _c, e in s)
+        )
+        assert minimized == [(1, MCEvent(WRITE, 0))]
+
+    def test_trace_round_trip(self):
+        steps = [
+            (0, MCEvent(WRITE, 1, 8)),
+            (1, MCEvent(ACQUIRE)),
+            (1, MCEvent(READ, 0)),
+        ]
+        assert parse_trace(render_trace(steps)) == steps
+
+    def test_parse_trace_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_trace("step 0: core 0 FROB 0x40")
+
+
+# --------------------------------------------------------------------------
+# the sanitizer
+# --------------------------------------------------------------------------
+
+
+class TestSanitizer:
+    def racy_program(self):
+        t0 = TraceBuilder().write(0x1000, 8).acquire(0).release(0).build()
+        t1 = (
+            TraceBuilder().read(0x1000, 8, gap=5).write(0x1040, 8)
+            .acquire(1).release(1).build()
+        )
+        return Program([t0, t1], name="racy")
+
+    @pytest.mark.parametrize("proto", ("mesi", "ce", "ce+", "arc"))
+    def test_armed_healthy_run_is_silent(self, proto):
+        cfg = SystemConfig(num_cores=2, protocol=proto)
+        result = Simulator(cfg, self.racy_program(), sanitize=True).run()
+        assert result.cycles > 0
+
+    def test_armed_broken_protocol_raises_at_dispatch(self):
+        machine = Machine(modelcheck_config("mesi", 2), sanitize=True)
+        protocol = make_protocol(machine)
+        skip_invalidations(protocol)
+        protocol.access(0, 0, 4, False, 0)
+        protocol.access(1, 0, 4, False, 10)
+        with pytest.raises(SimulationError, match="sanitizer"):
+            protocol.access(1, 0, 4, True, 20)
+
+    def test_armed_broken_arc_raises_at_boundary(self):
+        machine = Machine(modelcheck_config("arc", 2), sanitize=True)
+        protocol = make_protocol(machine)
+        skip_self_invalidation(protocol)
+        protocol.access(0, 0, 4, True, 0)
+        protocol.access(1, 0, 4, False, 10)  # line goes SHARED
+        with pytest.raises(SimulationError, match="self-invalidation"):
+            protocol.region_boundary(1, 20, ACQUIRE)
+
+    def test_env_var_arms_the_machine(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        assert Machine(modelcheck_config("mesi", 2)).sanitize
+        monkeypatch.delenv("REPRO_SANITIZE")
+        assert not Machine(modelcheck_config("mesi", 2)).sanitize
+
+    def test_unarmed_protocol_is_unwrapped(self):
+        machine = Machine(modelcheck_config("mesi", 2))
+        protocol = make_protocol(machine)
+        assert "access" not in vars(protocol)
+
+
+class TestSanitizeFlagStdout:
+    def test_run_sanitize_stdout_is_byte_identical(self, capsys):
+        import os
+
+        from repro.harness.run import main as run_main
+
+        argv = ["table3_conflicts", "--preset", "quick", "--no-cache"]
+        try:
+            assert run_main(argv) == 0
+            plain = capsys.readouterr().out
+            assert run_main(argv + ["--sanitize"]) == 0
+            sanitized = capsys.readouterr().out
+        finally:
+            os.environ.pop("REPRO_SANITIZE", None)
+        assert sanitized == plain

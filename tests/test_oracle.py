@@ -98,6 +98,63 @@ class TestOracleOnConstructedPrograms:
         assert ce_conflicts(recorder) == {}
 
 
+class TestDegenerateRegions:
+    """Single-event programs and zero-length regions, pinned explicitly."""
+
+    def test_single_event_program_is_conflict_free(self):
+        t0 = TraceBuilder().write(0x1000).build()
+        _, recorder = run_recorded("mesi", Program([t0]), num_cores=2)
+        assert len(recorder.accesses) == 1
+        assert recorder.interval(0, 0).end is None
+        assert overlap_conflicts(recorder) == {}
+        assert ce_conflicts(recorder) == {}
+
+    def test_two_single_event_threads_race(self):
+        """One event per thread: both open regions overlap, both oracles
+        agree, and CE detects the pair eagerly."""
+        t0 = TraceBuilder().write(0x1000, 8).build()
+        t1 = TraceBuilder().write(0x1000, 8, gap=25).build()
+        result, recorder = run_recorded("ce", Program([t0, t1]), num_cores=2)
+        overlap = set(overlap_conflicts(recorder))
+        ce = set(ce_conflicts(recorder))
+        assert len(overlap) == 1
+        assert ce == overlap
+        assert detected_keys(result.stats.conflicts) == overlap
+
+    def test_zero_length_region_exists_and_is_empty(self):
+        """acquire immediately followed by release: the region between
+        them contains no accesses but still gets a well-formed interval."""
+        t0 = TraceBuilder().write(0x1000).acquire(0).release(0).build()
+        _, recorder = run_recorded("mesi", Program([t0]), num_cores=2)
+        empty = recorder.interval(0, 1)
+        assert empty.end is not None
+        assert empty.end >= empty.start
+        assert not any(
+            a.core == 0 and a.region == 1 for a in recorder.accesses
+        )
+
+    def test_zero_length_regions_never_conflict(self):
+        """A thread that only opens and closes empty regions conflicts
+        with nothing, no matter how racy the other thread is."""
+        t0 = TraceBuilder().acquire(0).release(0).acquire(0).release(0).build()
+        t1 = TraceBuilder().write(0x1000, 8).read(0x1000, 8).build()
+        for proto in ("mesi",) + DETECTORS:
+            result, recorder = run_recorded(proto, Program([t0, t1]), num_cores=2)
+            assert overlap_conflicts(recorder) == {}
+            assert ce_conflicts(recorder) == {}
+            assert detected_keys(result.stats.conflicts) == set()
+
+    def test_conflict_against_a_closed_single_event_region(self):
+        """The earlier region closes before the later access: overlap
+        still flags the wall-clock overlap, CE semantics do not."""
+        t0 = TraceBuilder().write(0x1000, 8).acquire(0).release(0).build()
+        t1 = TraceBuilder().read(0x1000, 8, gap=600).build()
+        _, recorder = run_recorded("mesi", Program([t0, t1]), num_cores=2)
+        overlap = set(overlap_conflicts(recorder))
+        assert len(overlap) == 1
+        assert ce_conflicts(recorder) == {}
+
+
 def random_program(draw_ops):
     """Build a 2-thread program from op lists over a tiny address pool."""
     programs = []

@@ -1,0 +1,101 @@
+"""The S < O < E < M write-permission lattice, pinned exhaustively.
+
+The numeric state order is load-bearing: a write hit is silent if and
+only if ``state >= E``.  O deliberately sits *below* E even though it
+holds dirty data — an Owned line may have S copies outstanding, so a
+write to it must take the upgrade path and invalidate the sharers
+first, exactly like a write to S.  These tests drive a line into each
+of the four states and pin the behavior on both sides of the
+threshold.
+"""
+
+import pytest
+
+from repro.core.machine import Machine
+from repro.modelcheck import modelcheck_config
+from repro.protocols import make_protocol
+from repro.protocols.base import DIRTY_STATES, E, M, O, S, STATE_NAMES
+
+#: the modelcheck geometry runs MESI with the Owned state enabled
+LINE = 0
+HIT_LATENCY = 1
+
+
+def fresh_protocol():
+    return make_protocol(Machine(modelcheck_config("mesi", 2)))
+
+
+def drive_to(protocol, state):
+    """Put core 0's copy of line 0 into ``state``; return the cycle cursor."""
+    if state == S:
+        protocol.access(0, 0, 4, False, 0)     # c0: E
+        protocol.access(1, 0, 4, False, 100)   # c1 read: both S
+    elif state == O:
+        protocol.access(0, 0, 4, True, 0)      # c0: M
+        protocol.access(1, 0, 4, False, 100)   # c1 read: c0 O, c1 S (MOESI)
+    elif state == E:
+        protocol.access(0, 0, 4, False, 0)
+    elif state == M:
+        protocol.access(0, 0, 4, True, 0)
+    else:  # pragma: no cover - exhaustiveness guard
+        raise AssertionError(state)
+    payload = protocol.l1[0].peek(LINE)
+    assert payload is not None and payload.state == state, STATE_NAMES[state]
+    return 200
+
+
+class TestLatticeConstants:
+    def test_total_order(self):
+        assert S < O < E < M
+
+    def test_every_state_named(self):
+        assert set(STATE_NAMES) == {S, O, E, M}
+
+    def test_dirty_states_are_exactly_m_and_o(self):
+        assert DIRTY_STATES == frozenset({M, O})
+
+    def test_silent_threshold_splits_the_lattice(self):
+        assert [s for s in (S, O, E, M) if s >= E] == [E, M]
+
+
+class TestWritePathPerState:
+    """Exhaustive: one write-hit probe per lattice state."""
+
+    @pytest.mark.parametrize("state", (S, O, E, M), ids=lambda s: STATE_NAMES[s])
+    def test_write_hit_is_silent_iff_at_least_e(self, state):
+        protocol = fresh_protocol()
+        cycle = drive_to(protocol, state)
+        invalidations_before = protocol.stats.invalidations_sent
+        latency = protocol.access(0, 0, 4, True, cycle)
+        payload = protocol.l1[0].peek(LINE)
+        # every write path ends with the sole M copy
+        assert payload is not None and payload.state == M
+        assert protocol.l1[1].peek(LINE) is None
+        if state >= E:
+            # silent: pure L1 hit, no coherence action of any kind
+            assert latency == HIT_LATENCY, STATE_NAMES[state]
+            assert protocol.stats.invalidations_sent == invalidations_before
+        else:
+            # upgrade: slower than a hit, and S/O with a second copy
+            # outstanding must invalidate it
+            assert latency > HIT_LATENCY, STATE_NAMES[state]
+            assert protocol.stats.invalidations_sent > invalidations_before
+
+    @pytest.mark.parametrize("state", (S, O), ids=lambda s: STATE_NAMES[s])
+    def test_below_threshold_upgrade_removes_the_sharer(self, state):
+        protocol = fresh_protocol()
+        cycle = drive_to(protocol, state)
+        assert protocol.l1[1].peek(LINE) is not None  # sharer outstanding
+        protocol.access(0, 0, 4, True, cycle)
+        entry = protocol.directory.get(LINE)
+        assert entry is not None
+        assert entry.owner == 0
+        assert entry.sharer_list() == []
+
+    def test_owned_state_holds_dirty_data_yet_upgrades(self):
+        """O is dirty (writes back) but still below the silent threshold."""
+        protocol = fresh_protocol()
+        drive_to(protocol, O)
+        payload = protocol.l1[0].peek(LINE)
+        assert payload.state in DIRTY_STATES
+        assert payload.state < E
