@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Port a real threaded program to the capture API, then simulate it.
+
+The program is a classic parallel histogram: each thread bins its slice
+of the input into private counters, then merges into the shared bins
+under per-shard locks, with a barrier between the two phases.  This is
+the porting idiom in full — the worker below is ordinary Python
+threading code except that shared state lives in traced arrays and the
+sync objects come from the session.
+
+Run:  python examples/capture/histogram.py
+"""
+
+from repro import SystemConfig, compare_protocols
+from repro.capture import CaptureSession
+
+THREADS = 4
+BINS = 16
+ITEMS_PER_THREAD = 96
+SHARDS = 4
+
+
+def main() -> None:
+    session = CaptureSession(THREADS, seed=7, name="histogram-example")
+
+    data = session.array(
+        THREADS * ITEMS_PER_THREAD,
+        element_size=4,
+        name="data",
+        values=[(i * 131) % BINS for i in range(THREADS * ITEMS_PER_THREAD)],
+    )
+    bins = session.array(BINS, name="bins")
+    shard_locks = [session.lock() for _ in range(SHARDS)]
+    merged = session.barrier()
+
+    def worker(tid: int) -> None:
+        # phase 1: bin the private slice into thread-local counters
+        local = [0] * BINS
+        base = tid * ITEMS_PER_THREAD
+        for i in range(ITEMS_PER_THREAD):
+            local[data[base + i]] += 1
+            session.compute(2)
+        # phase 2: merge under the shard lock that owns each bin
+        for b in range(BINS):
+            if local[b]:
+                with shard_locks[b % SHARDS]:
+                    bins.add(b, local[b])
+        merged.wait()
+
+    program = session.run(worker)
+    stats = program.stats()
+    print(f"captured {program.name}: {stats.num_events:,} events, "
+          f"{stats.num_regions} regions, {stats.shared_lines} shared lines")
+
+    total = sum(bins.peek(b) for b in range(BINS))
+    print(f"histogram total {total} == items {THREADS * ITEMS_PER_THREAD}: "
+          f"{total == THREADS * ITEMS_PER_THREAD}")
+
+    comparison = compare_protocols(SystemConfig(num_cores=THREADS), program)
+    print("\nnormalized runtime (vs MESI):")
+    for kind, value in comparison.normalized_runtime().items():
+        conflicts = comparison.results[kind].num_conflicts
+        print(f"  {kind.value:5s} {value:6.3f}   conflicts {conflicts}")
+    print("\nwell-synchronized, so every detector stays silent.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,153 @@
+"""Traced shared-state proxies.
+
+Captured programs do not read raw memory — they go through these
+proxies, which hold the actual Python values *and* record a READ/WRITE
+event (with the mapped address and access size) on every touch.  The
+proxies are the only instrumentation a program needs for its shared
+data; thread-private state stays ordinary Python and is simply absent
+from the trace, exactly like register/stack traffic in the paper's
+simulation methodology.
+"""
+
+from __future__ import annotations
+
+from ..common.errors import CaptureError
+
+_ALLOWED_ELEMENT_SIZES = (1, 2, 4, 8)
+
+
+class TracedArray:
+    """A fixed-length shared array backed by a captured address range.
+
+    Element *i* lives at ``base + i * element_size``; loads and stores
+    through ``[]`` (or :meth:`load` / :meth:`store` / :meth:`add`)
+    record trace events against the owning session's current thread.
+    """
+
+    __slots__ = ("_session", "_values", "base", "element_size", "name")
+
+    def __init__(
+        self,
+        session,
+        length: int,
+        *,
+        element_size: int = 8,
+        name: str = "",
+        values=None,
+    ):
+        if length <= 0:
+            raise CaptureError("array length must be positive")
+        if element_size not in _ALLOWED_ELEMENT_SIZES:
+            raise CaptureError(
+                f"element_size must be one of {_ALLOWED_ELEMENT_SIZES}"
+            )
+        if values is not None and len(values) != length:
+            raise CaptureError(
+                f"initial values have length {len(values)}, expected {length}"
+            )
+        self._session = session
+        self._values = list(values) if values is not None else [0] * length
+        self.base = session.alloc(length * element_size)
+        self.element_size = element_size
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def _addr(self, index: int) -> int:
+        if not -len(self._values) <= index < len(self._values):
+            raise IndexError(
+                f"index {index} out of range for TracedArray({len(self._values)})"
+            )
+        if index < 0:
+            index += len(self._values)
+        return self.base + index * self.element_size
+
+    def __getitem__(self, index: int):
+        self._session.record_read(self._addr(index), self.element_size)
+        return self._values[index]
+
+    def __setitem__(self, index: int, value) -> None:
+        self._session.record_write(self._addr(index), self.element_size)
+        self._values[index] = value
+
+    load = __getitem__
+    store = __setitem__
+
+    def add(self, index: int, delta):
+        """Read-modify-write: records one load and one store."""
+        value = self[index] + delta
+        self[index] = value
+        return value
+
+    def peek(self, index: int):
+        """Untracked read (debugging/assertions only — records nothing)."""
+        return self._values[index]
+
+    def __repr__(self) -> str:
+        return (
+            f"TracedArray({self.name or 'anon'!r}, {len(self._values)} x "
+            f"{self.element_size}B @ {self.base:#x})"
+        )
+
+
+class TracedStruct:
+    """A shared record: one named 8-byte slot per field.
+
+    Attribute access is traced::
+
+        head = session.struct(("count", "head", "tail"))
+        head.count += 1        # records a READ and a WRITE
+
+    Field order fixes the layout, so layouts — like everything else in
+    a session — are deterministic functions of construction order.
+    """
+
+    __slots__ = ("_session", "_fields", "_values", "base", "name")
+
+    _SLOT = 8
+
+    def __init__(self, session, fields, *, name: str = ""):
+        fields = tuple(fields)
+        if not fields:
+            raise CaptureError("a TracedStruct needs at least one field")
+        if len(set(fields)) != len(fields):
+            raise CaptureError(f"duplicate field names in {fields}")
+        object.__setattr__(self, "_session", session)
+        object.__setattr__(
+            self, "_fields", {f: i * self._SLOT for i, f in enumerate(fields)}
+        )
+        object.__setattr__(self, "_values", {f: 0 for f in fields})
+        object.__setattr__(self, "base", session.alloc(len(fields) * self._SLOT))
+        object.__setattr__(self, "name", name)
+
+    def _offset(self, field: str) -> int:
+        offset = self._fields.get(field)
+        if offset is None:
+            raise AttributeError(
+                f"TracedStruct has no field {field!r} "
+                f"(fields: {tuple(self._fields)})"
+            )
+        return offset
+
+    def __getattr__(self, field: str):
+        if field.startswith("_"):
+            raise AttributeError(field)
+        offset = self._offset(field)
+        self._session.record_read(self.base + offset, self._SLOT)
+        return self._values[field]
+
+    def __setattr__(self, field: str, value) -> None:
+        offset = self._offset(field)
+        self._session.record_write(self.base + offset, self._SLOT)
+        self._values[field] = value
+
+    def peek(self, field: str):
+        """Untracked read (debugging/assertions only)."""
+        return self._values[field]
+
+    def __repr__(self) -> str:
+        return (
+            f"TracedStruct({self.name or 'anon'!r}, "
+            f"fields={tuple(self._fields)} @ {self.base:#x})"
+        )

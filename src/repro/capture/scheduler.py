@@ -1,0 +1,175 @@
+"""Deterministic cooperative scheduling of captured threads.
+
+Capturing a real ``threading`` program under the OS scheduler would
+yield a different interleaving — and therefore different trace contents
+for any schedule-dependent program (work stealing, pipelines) — on
+every run.  The capture layer instead serializes the program: exactly
+one thread runs at a time, and control passes only at *switch points*
+(synchronization operations, and optionally every N shared accesses).
+Given a fixed start permutation, the interleaving is a pure function of
+the program and the seed, which makes repeated captures byte-identical.
+
+Threads are real ``threading.Thread`` objects blocked on a shared
+condition variable; the scheduler hands a baton around in round-robin
+rotation over the seeded start order.  Blocking operations (contended
+lock, barrier, condition wait) park the thread until a peer marks it
+ready; if no thread is ready and some are still parked, the captured
+program has deadlocked and the capture aborts with a
+:class:`~repro.common.errors.CaptureError`.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..common.errors import CaptureError
+
+_READY = 0
+_BLOCKED = 1
+_DONE = 2
+
+_STATE_NAMES = {_READY: "ready", _BLOCKED: "blocked", _DONE: "done"}
+
+
+class CooperativeScheduler:
+    """Round-robin baton scheduler over a fixed thread rotation.
+
+    ``order`` is the rotation (a permutation of ``range(num_threads)``,
+    seeded by the session); ``order[0]`` runs first.
+    """
+
+    def __init__(self, order: list[int]):
+        if sorted(order) != list(range(len(order))):
+            raise CaptureError(f"order must be a permutation, got {order}")
+        self._order = list(order)
+        self._slot = {tid: i for i, tid in enumerate(order)}
+        n = len(order)
+        self._state = [_READY] * n
+        self._cond = threading.Condition()
+        self._current: int | None = None
+        self._num_done = 0
+        self._failure: BaseException | None = None
+        self._started = False
+
+    # -- lifecycle (main thread) -------------------------------------------
+
+    def run(self, thread_factory) -> None:
+        """Start all threads and block until every one finishes.
+
+        ``thread_factory(tid)`` must return an *unstarted*
+        ``threading.Thread`` whose target calls :meth:`thread_begin` /
+        :meth:`thread_end` around the worker body.  Re-raises the first
+        worker exception after all threads have unwound.
+        """
+        threads = [thread_factory(tid) for tid in range(len(self._order))]
+        for tid in self._order:
+            threads[tid].start()
+        with self._cond:
+            self._started = True
+            self._current = self._order[0]
+            self._cond.notify_all()
+        for tid in self._order:
+            threads[tid].join()
+        if self._failure is not None:
+            raise self._failure
+
+    # -- worker-side protocol ----------------------------------------------
+
+    def thread_begin(self, tid: int) -> None:
+        """Block until this thread is handed the baton for the first time."""
+        with self._cond:
+            self._cond.wait_for(
+                lambda: (self._started and self._current == tid)
+                or self._failure is not None
+            )
+            if self._failure is not None:
+                raise CaptureError("capture aborted by a peer thread's failure")
+
+    def thread_end(self, tid: int, error: BaseException | None) -> None:
+        """Mark the thread finished and pass the baton on."""
+        with self._cond:
+            self._state[tid] = _DONE
+            self._num_done += 1
+            if error is not None and self._failure is None:
+                self._failure = error
+            if self._failure is not None:
+                self._cond.notify_all()
+                return
+            if self._num_done < len(self._order):
+                nxt = self._pick_next(tid)
+                if nxt is None:
+                    self._fail_deadlock()
+                self._current = nxt
+            self._cond.notify_all()
+
+    def yield_control(self, tid: int) -> None:
+        """Switch point: offer the baton to the next ready thread."""
+        with self._cond:
+            self._check_alive()
+            nxt = self._pick_next(tid)
+            if nxt is None or nxt == tid:
+                return
+            self._current = nxt
+            self._cond.notify_all()
+            self._wait_for_baton(tid)
+
+    def block(self, tid: int) -> None:
+        """Park the calling thread until a peer calls :meth:`make_ready`.
+
+        The caller must already have enqueued itself on whatever wait
+        queue will wake it; this only hands the baton away and sleeps.
+        """
+        with self._cond:
+            self._check_alive()
+            self._state[tid] = _BLOCKED
+            nxt = self._pick_next(tid)
+            if nxt is None:
+                self._fail_deadlock()
+            self._current = nxt
+            self._cond.notify_all()
+            self._wait_for_baton(tid)
+
+    def make_ready(self, tid: int) -> None:
+        """Unpark a thread (called by the baton holder; the woken thread
+        runs only when the baton next reaches it)."""
+        with self._cond:
+            if self._state[tid] == _BLOCKED:
+                self._state[tid] = _READY
+
+    # -- internals ---------------------------------------------------------
+
+    def _wait_for_baton(self, tid: int) -> None:
+        # caller holds self._cond
+        self._cond.wait_for(
+            lambda: (self._current == tid and self._state[tid] == _READY)
+            or self._failure is not None
+        )
+        if self._failure is not None:
+            raise CaptureError("capture aborted by a peer thread's failure")
+
+    def _pick_next(self, tid: int) -> int | None:
+        """Next ready thread in rotation order after ``tid`` (or ``tid``
+        itself if it alone is ready); ``None`` if nothing is ready."""
+        order = self._order
+        n = len(order)
+        base = self._slot[tid]
+        for step in range(1, n + 1):
+            candidate = order[(base + step) % n]
+            if self._state[candidate] == _READY:
+                return candidate
+        return None
+
+    def _check_alive(self) -> None:
+        if self._failure is not None:
+            raise CaptureError("capture aborted by a peer thread's failure")
+
+    def _fail_deadlock(self) -> None:
+        states = {
+            tid: _STATE_NAMES[self._state[tid]] for tid in range(len(self._order))
+        }
+        error = CaptureError(
+            f"captured program deadlocked: no runnable thread ({states})"
+        )
+        self._failure = error
+        self._cond.notify_all()
+        raise error

@@ -1,0 +1,427 @@
+"""The capture session: instrument, run, and lift into a Program.
+
+:class:`CaptureSession` is the public entry point of the capture
+subsystem.  A session owns
+
+* a seeded address allocator (line-aligned bump allocation over the
+  same :class:`~repro.mem.address.AddressMap` geometry the simulator
+  uses, with seeded inter-allocation padding);
+* one event recorder per thread (append-only column lists with the
+  same well-formedness rules as :class:`~repro.trace.builder.TraceBuilder`:
+  sizes 1..8, line-straddle splitting, lock discipline);
+* the deterministic cooperative scheduler
+  (:mod:`repro.capture.scheduler`) that serializes the instrumented
+  threads so repeated captures are byte-identical;
+* factories for the traced shared state
+  (:class:`~repro.capture.proxies.TracedArray`,
+  :class:`~repro.capture.proxies.TracedStruct`) and sync objects
+  (:class:`~repro.capture.sync.TracedLock` /
+  :class:`~repro.capture.sync.TracedBarrier` /
+  :class:`~repro.capture.sync.TracedCondition`).
+
+SFR boundaries are not annotated by the captured program — they fall
+out of the recorded sync events exactly as in
+:mod:`repro.trace.regions`: every acquire/release/barrier ends the
+current region.
+
+Typical use::
+
+    session = CaptureSession(num_threads=4, seed=1, name="histogram")
+    data = session.array(4096, name="data")
+    lock = session.lock()
+    done = session.barrier()
+
+    def worker(tid):
+        ...read data[i], take lock, wait on done...
+
+    program = session.run(worker)          # an ordinary trace.Program
+
+Pass ``stream_to="trace.rtb"`` to write events to disk *during* the
+capture (bounded memory) and get back a streamed program instead.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+
+import numpy as np
+
+from ..common.errors import CaptureError
+from ..common.rng import make_rng
+from ..mem.address import AddressMap
+from ..trace.binio import DEFAULT_CHUNK_EVENTS, BinTraceWriter, stream_program_bin
+from ..trace.events import (
+    ACQUIRE,
+    BARRIER,
+    EVENT_DTYPE,
+    MAX_ACCESS_SIZE,
+    READ,
+    RELEASE,
+    WRITE,
+    ThreadTrace,
+)
+from ..trace.program import Program
+from ..trace.validate import validate_program
+from .proxies import TracedArray, TracedStruct
+from .scheduler import CooperativeScheduler
+from .sync import TracedBarrier, TracedCondition, TracedLock
+
+#: base of the captured address space (matches the synthetic allocator)
+BASE_ADDRESS = 0x10000
+
+_MAX_GAP = 0xFFFF
+
+
+class _ThreadRecorder:
+    """Append-only event columns for one captured thread."""
+
+    __slots__ = (
+        "line_size",
+        "kinds",
+        "addrs",
+        "sizes",
+        "sync_ids",
+        "gaps",
+        "held",
+        "pending_gap",
+        "total",
+    )
+
+    def __init__(self, line_size: int):
+        self.line_size = line_size
+        self.kinds: list[int] = []
+        self.addrs: list[int] = []
+        self.sizes: list[int] = []
+        self.sync_ids: list[int] = []
+        self.gaps: list[int] = []
+        self.held: list[int] = []
+        self.pending_gap = 0
+        self.total = 0
+
+    def __len__(self) -> int:
+        return len(self.kinds)
+
+    def _append(self, kind: int, addr: int, size: int, sync_id: int) -> None:
+        self.kinds.append(kind)
+        self.addrs.append(addr)
+        self.sizes.append(size)
+        self.sync_ids.append(sync_id)
+        self.gaps.append(self.pending_gap)
+        self.pending_gap = 0
+        self.total += 1
+
+    def access(self, kind: int, addr: int, size: int) -> None:
+        if not 1 <= size <= MAX_ACCESS_SIZE:
+            raise CaptureError(
+                f"access size must be 1..{MAX_ACCESS_SIZE}, got {size}"
+            )
+        # split line-straddling accesses exactly like TraceBuilder
+        while size > 0:
+            line_end = (addr // self.line_size + 1) * self.line_size
+            piece = min(size, line_end - addr)
+            self._append(kind, addr, piece, -1)
+            addr += piece
+            size -= piece
+
+    def acquire(self, lock_id: int) -> None:
+        if lock_id in self.held:
+            raise CaptureError(
+                f"re-acquire of traced lock {lock_id} (locks are not reentrant)"
+            )
+        self.held.append(lock_id)
+        self._append(ACQUIRE, 0, 0, lock_id)
+
+    def release(self, lock_id: int) -> None:
+        if lock_id not in self.held:
+            raise CaptureError(f"release of traced lock {lock_id} not held")
+        self.held.remove(lock_id)
+        self._append(RELEASE, 0, 0, lock_id)
+
+    def barrier(self, barrier_id: int) -> None:
+        if self.held:
+            raise CaptureError(
+                f"barrier wait while holding traced locks {self.held}"
+            )
+        self._append(BARRIER, 0, 0, barrier_id)
+
+    def add_gap(self, cycles: int) -> None:
+        self.pending_gap = min(self.pending_gap + cycles, _MAX_GAP)
+
+    def take_events(self) -> np.ndarray:
+        """Drain accumulated events as a structured array (streaming)."""
+        events = np.empty(len(self.kinds), dtype=EVENT_DTYPE)
+        events["kind"] = self.kinds
+        events["addr"] = self.addrs
+        events["size"] = self.sizes
+        events["sync_id"] = self.sync_ids
+        events["gap"] = self.gaps
+        self.kinds.clear()
+        self.addrs.clear()
+        self.sizes.clear()
+        self.sync_ids.clear()
+        self.gaps.clear()
+        return events
+
+
+class CaptureSession:
+    """Records one run of an instrumented multithreaded program.
+
+    Parameters
+    ----------
+    num_threads:
+        Number of captured threads (thread *i* becomes core *i*).
+    seed:
+        Seeds the thread start permutation and the allocator padding via
+        :func:`repro.common.rng.make_rng`; identical seeds give
+        byte-identical captures.
+    name:
+        Program name used in tables and file metadata.
+    line_size:
+        Cache-line geometry used for straddle splitting and address
+        mapping (must match the replaying :class:`SystemConfig`).
+    switch_every:
+        Optional preemption budget: additionally offer the baton to the
+        next thread after every N shared accesses (0 = switch only at
+        sync operations).  Any value is deterministic.
+    stream_to:
+        When set, events are flushed to this ``.rtb`` file during the
+        capture and :meth:`run` returns a streamed program (bounded
+        memory even for captures larger than RAM).
+    """
+
+    def __init__(
+        self,
+        num_threads: int,
+        *,
+        seed: int = 1,
+        name: str = "captured",
+        line_size: int = 64,
+        switch_every: int = 0,
+        stream_to: str | Path | None = None,
+        chunk_events: int = DEFAULT_CHUNK_EVENTS,
+    ):
+        if num_threads <= 0:
+            raise CaptureError("num_threads must be positive")
+        if switch_every < 0:
+            raise CaptureError("switch_every must be >= 0")
+        self.num_threads = num_threads
+        self.seed = seed
+        self.name = name
+        self.line_size = line_size
+        self.switch_every = switch_every
+        self.stream_to = Path(stream_to) if stream_to is not None else None
+        self.chunk_events = chunk_events
+        self.amap = AddressMap(line_size, 1)
+
+        self._alloc_rng = make_rng(seed, "capture", name, "alloc")
+        self._next_addr = BASE_ADDRESS
+        self._next_lock_id = 0
+        self._next_barrier_id = 0
+        self._recorders = [_ThreadRecorder(line_size) for _ in range(num_threads)]
+        self._tids: dict[int, int] = {}  # threading ident -> tid
+        self._scheduler: CooperativeScheduler | None = None
+        self._writer: BinTraceWriter | None = None
+        self._barriers: list[TracedBarrier] = []
+        self._accesses_since_switch = [0] * num_threads
+        self._ran = False
+
+    # -- shared-state factories (call before run()) ------------------------
+
+    def alloc(self, nbytes: int, *, align_lines: bool = True) -> int:
+        """Reserve ``nbytes`` of captured address space; returns the base.
+
+        Allocations are line-aligned with a seeded padding of 0–3 lines
+        between them, so the address layout is a deterministic function
+        of the session seed and allocation order.
+        """
+        if nbytes <= 0:
+            raise CaptureError("allocation size must be positive")
+        if align_lines:
+            padding = int(self._alloc_rng.integers(0, 4)) * self.line_size
+            base = self._next_addr + padding
+            lines = -(-nbytes // self.line_size)
+            self._next_addr = base + lines * self.line_size
+        else:
+            base = self._next_addr
+            self._next_addr = base + nbytes
+        return base
+
+    def array(
+        self,
+        length: int,
+        *,
+        element_size: int = 8,
+        name: str = "",
+        values=None,
+    ) -> TracedArray:
+        """A traced shared array of ``length`` elements."""
+        return TracedArray(
+            self, length, element_size=element_size, name=name, values=values
+        )
+
+    def struct(self, fields, *, name: str = "") -> TracedStruct:
+        """A traced shared record with one 8-byte slot per field name."""
+        return TracedStruct(self, fields, name=name)
+
+    def lock(self) -> TracedLock:
+        """A drop-in traced mutex (context-manager capable)."""
+        lock_id = self._next_lock_id
+        self._next_lock_id += 1
+        return TracedLock(self, lock_id)
+
+    def barrier(self, parties: int | None = None) -> TracedBarrier:
+        """A traced barrier; defaults to all session threads."""
+        barrier_id = self._next_barrier_id
+        self._next_barrier_id += 1
+        barrier = TracedBarrier(self, barrier_id, parties or self.num_threads)
+        self._barriers.append(barrier)
+        return barrier
+
+    def condition(self, lock: TracedLock | None = None) -> TracedCondition:
+        """A traced condition variable (fresh lock unless one is given)."""
+        return TracedCondition(self, lock if lock is not None else self.lock())
+
+    # -- worker-side hooks (proxies and sync objects call these) -----------
+
+    def current_tid(self) -> int:
+        tid = self._tids.get(threading.get_ident())
+        if tid is None:
+            raise CaptureError(
+                "traced state touched from a thread the session did not start"
+            )
+        return tid
+
+    def compute(self, cycles: int) -> None:
+        """Charge ``cycles`` of compute time to the next recorded event."""
+        if cycles < 0:
+            raise CaptureError("compute cycles must be >= 0")
+        self._recorders[self.current_tid()].add_gap(cycles)
+
+    def record_access(self, kind: int, addr: int, size: int) -> None:
+        tid = self.current_tid()
+        recorder = self._recorders[tid]
+        recorder.access(kind, addr, size)
+        if self.switch_every:
+            self._accesses_since_switch[tid] += 1
+            if self._accesses_since_switch[tid] >= self.switch_every:
+                self._accesses_since_switch[tid] = 0
+                self._scheduler.yield_control(tid)
+        self._maybe_drain(tid)
+
+    def record_read(self, addr: int, size: int) -> None:
+        self.record_access(READ, addr, size)
+
+    def record_write(self, addr: int, size: int) -> None:
+        self.record_access(WRITE, addr, size)
+
+    def recorder_for(self, tid: int) -> _ThreadRecorder:
+        return self._recorders[tid]
+
+    @property
+    def scheduler(self) -> CooperativeScheduler:
+        if self._scheduler is None:
+            raise CaptureError("session is not running")
+        return self._scheduler
+
+    def _maybe_drain(self, tid: int) -> None:
+        if self._writer is not None:
+            recorder = self._recorders[tid]
+            if len(recorder) >= self.chunk_events:
+                self._writer.append(tid, recorder.take_events())
+
+    # -- capture -----------------------------------------------------------
+
+    def run(self, worker) -> Program:
+        """Run ``worker(tid)`` on every captured thread; return the Program.
+
+        Threads start in a seeded permutation and hand control around
+        deterministically (see :mod:`repro.capture.scheduler`).  The
+        resulting program is validated against the same rules the
+        synthetic workloads obey and carries this session's ``name``.
+        """
+        if self._ran:
+            raise CaptureError("a CaptureSession records exactly one run")
+        self._ran = True
+
+        order = [
+            int(tid)
+            for tid in make_rng(self.seed, "capture", self.name, "order").permutation(
+                self.num_threads
+            )
+        ]
+        self._scheduler = CooperativeScheduler(order)
+        if self.stream_to is not None:
+            self._writer = BinTraceWriter(
+                self.stream_to,
+                self.num_threads,
+                self.name,
+                chunk_events=self.chunk_events,
+            )
+
+        def thread_main(tid: int) -> None:
+            self._tids[threading.get_ident()] = tid
+            error: BaseException | None = None
+            try:
+                self._scheduler.thread_begin(tid)
+                worker(tid)
+                recorder = self._recorders[tid]
+                if recorder.held:
+                    raise CaptureError(
+                        f"thread {tid} finished holding traced locks "
+                        f"{recorder.held}"
+                    )
+            except BaseException as exc:  # noqa: B036 - forwarded to main
+                error = exc
+            finally:
+                self._scheduler.thread_end(tid, error)
+
+        def factory(tid: int) -> threading.Thread:
+            return threading.Thread(
+                target=thread_main, args=(tid,), name=f"capture-{tid}", daemon=True
+            )
+
+        try:
+            self._scheduler.run(factory)
+        except BaseException:
+            if self._writer is not None:
+                # leave the file footerless: readers reject the torso
+                self._writer._fh.close()
+                self._writer._closed = True
+            raise
+
+        self._check_barrier_episodes()
+        if self._writer is not None:
+            for tid in range(self.num_threads):
+                recorder = self._recorders[tid]
+                if len(recorder):
+                    self._writer.append(tid, recorder.take_events())
+            self._writer.close()
+            return stream_program_bin(self.stream_to)
+
+        traces = [
+            ThreadTrace(recorder.take_events()) for recorder in self._recorders
+        ]
+        program = Program(traces=traces, name=self.name)
+        validate_program(program, self.line_size)
+        return program
+
+    def _check_barrier_episodes(self) -> None:
+        """Every barrier's participants must have arrived equally often.
+
+        This is :func:`~repro.trace.validate.validate_program`'s
+        cross-thread barrier rule, enforced from the live barrier
+        objects so streamed captures (whose events are already on disk)
+        get the same guarantee.
+        """
+        for barrier in self._barriers:
+            counts = {
+                tid: count
+                for tid, count in enumerate(barrier.episode_counts)
+                if count
+            }
+            if counts and len(set(counts.values())) > 1:
+                raise CaptureError(
+                    f"barrier {barrier.barrier_id}: unequal episode counts "
+                    f"across threads: {counts}"
+                )

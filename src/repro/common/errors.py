@@ -40,6 +40,12 @@ class SimulationError(ReproError):
     """
 
 
+class CaptureError(ReproError):
+    """A runtime capture went wrong: the instrumented program deadlocked
+    under the deterministic scheduler, misused a traced sync object, or
+    produced a trace the simulator could not replay."""
+
+
 # --------------------------------------------------------------------------
 # harness failure taxonomy
 # --------------------------------------------------------------------------

@@ -91,13 +91,17 @@ class Simulator:
         self.recorder = recorder
 
         n = program.num_threads
-        # Column lists: plain-int indexing is several times faster than
-        # NumPy scalar indexing in the hot loop.
-        self._kinds = [t.kinds.tolist() for t in program.traces]
-        self._addrs = [t.addrs.tolist() for t in program.traces]
-        self._sizes = [t.sizes.tolist() for t in program.traces]
-        self._sync_ids = [t.sync_ids.tolist() for t in program.traces]
-        self._gaps = [t.gaps.tolist() for t in program.traces]
+        # Column sequences: materialized traces return plain lists
+        # (plain-int indexing is several times faster than NumPy scalar
+        # indexing in the hot loop); streamed traces return lazy
+        # chunk-backed views.  Either way the engine indexes each core's
+        # columns at a monotonically advancing position.
+        columns = [t.columns() for t in program.traces]
+        self._kinds = [c[0] for c in columns]
+        self._addrs = [c[1] for c in columns]
+        self._sizes = [c[2] for c in columns]
+        self._sync_ids = [c[3] for c in columns]
+        self._gaps = [c[4] for c in columns]
         self._lengths = [len(t) for t in program.traces]
 
         self.clocks = [0] * n

@@ -17,7 +17,7 @@ from typing import Callable
 
 from ..common.config import AimConfig, ProtocolKind, SystemConfig
 from ..core.results import Comparison, geomean
-from ..synth.suite import RACY_SUITE, SUITE
+from ..synth.suite import CAPTURED_WORKLOADS, RACY_SUITE, SUITE
 from .executor import Executor, SimPoint, WorkloadSpec
 from .tables import TextTable
 
@@ -443,6 +443,48 @@ def fig_offchip_traffic(settings: Settings) -> list[TextTable]:
             *(comparison.results[p].offchip_metadata_bytes for p in DETECTORS),
         )
     return [total, meta]
+
+
+# --------------------------------------------------------------------------
+# Captured real-program workloads (extension: repro.capture)
+# --------------------------------------------------------------------------
+
+
+@experiment(
+    "captured_workloads",
+    "Extension",
+    "Captured real Python threading programs under all four protocols",
+)
+def captured_workloads(settings: Settings) -> list[TextTable]:
+    """Runtime + conflicts for the ``capture-*`` workloads.
+
+    The captured programs are real threaded Python code recorded by
+    :mod:`repro.capture`; building one re-runs the program under the
+    deterministic capture scheduler, so these points cache and fan out
+    exactly like synthetic ones.  ``capture-pipeline`` needs two
+    threads, so the thread floor is 2 even under tiny presets.
+    """
+    scaled = (
+        settings if settings.num_threads >= 2 else replace(settings, num_threads=2)
+    )
+    comparisons = _suite_comparisons(scaled, names=CAPTURED_WORKLOADS)
+    runtime = _normalized_table(
+        f"Captured workloads: runtime normalized to MESI "
+        f"({scaled.num_threads} threads)",
+        comparisons,
+        "cycles",
+    )
+    conflicts = TextTable(
+        "Captured workloads: region conflicts detected",
+        ["workload"] + _PROTO_COLS,
+    )
+    for name, comparison in comparisons.items():
+        row: list[int | str] = []
+        for proto in DETECTORS:
+            result = comparison.results.get(proto)
+            row.append(FAILED_CELL if result is None else result.num_conflicts)
+        conflicts.add_row(name, *row)
+    return [runtime, conflicts]
 
 
 # --------------------------------------------------------------------------

@@ -3,6 +3,7 @@
 from .base import generate, registered_workloads, scaled, workload
 from .patterns import AddressSpace, TraceAssembler, random_span, strided_span
 from .suite import (
+    CAPTURED_WORKLOADS,
     EXTRA_WORKLOADS,
     RACY_SUITE,
     SUITE,
@@ -13,6 +14,7 @@ from .suite import (
 
 __all__ = [
     "AddressSpace",
+    "CAPTURED_WORKLOADS",
     "EXTRA_WORKLOADS",
     "RACY_SUITE",
     "SUITE",

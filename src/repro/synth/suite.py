@@ -12,6 +12,7 @@ from __future__ import annotations
 from . import (  # noqa: F401
     alltoall,
     barrier_phases,
+    captured,
     dataparallel,
     false_sharing,
     irregular,
@@ -47,6 +48,16 @@ EXTRA_WORKLOADS: tuple[str, ...] = (
     "irregular-barnes",
     "reduction-fmm",
     "alltoall-radix",
+)
+
+#: captured real-program workloads (see repro.capture); conflict-free
+#: ones first, the deliberately racy detection exercise last
+CAPTURED_WORKLOADS: tuple[str, ...] = (
+    "capture-histogram",
+    "capture-blackscholes",
+    "capture-pipeline",
+    "capture-workqueue",
+    "capture-racy-counter",
 )
 
 

@@ -1,0 +1,217 @@
+"""Capture CLI: record real-program workloads and replay their traces.
+
+Front end for :mod:`repro.capture`.  ``capture`` runs one of the
+registered ``capture-*`` workloads (a real multithreaded Python program
+instrumented with traced memory and sync proxies) and writes the
+recorded trace — ``.rtb`` streams the binary format chunk by chunk
+while the program runs; ``.npz`` materializes in memory first.
+``replay`` simulates a recorded trace (or a workload captured on the
+fly) under one or all protocols, streaming ``.rtb`` inputs out of core.
+``summary`` prints the Table II-style characteristics of a capture.
+
+Usage::
+
+    python -m repro.tools.capture_cli capture capture-histogram -o hist.rtb
+    python -m repro.tools.capture_cli replay hist.rtb --protocol all
+    python -m repro.tools.capture_cli summary hist.rtb
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from ..capture.workloads import CAPTURE_WORKLOADS
+from ..common.config import SystemConfig
+from ..common.errors import TraceError
+from ..core.api import ALL_PROTOCOLS, run_program
+from ..harness.tables import TextTable
+from ..synth.base import generate
+from ..trace.binio import stream_program_bin
+from ..trace.io import BIN_SUFFIX, load_program, save_program
+from ..trace.program import Program
+from .inspect import parse_params
+
+
+def _capture(name: str, threads: int, seed: int, scale: float, **params) -> Program:
+    if name not in CAPTURE_WORKLOADS:
+        known = ", ".join(sorted(CAPTURE_WORKLOADS))
+        raise SystemExit(f"unknown capture workload {name!r} (known: {known})")
+    return generate(name, num_threads=threads, seed=seed, scale=scale, **params)
+
+
+def _load_or_capture(
+    target: str, threads: int, seed: int, scale: float, **params
+) -> Program:
+    path = Path(target)
+    if path.suffix in (BIN_SUFFIX, ".npz") and path.exists():
+        return load_program(path)
+    return _capture(target, threads, seed, scale, **params)
+
+
+def _pow2_at_least(n: int) -> int:
+    cores = 2
+    while cores < n:
+        cores *= 2
+    return cores
+
+
+def cmd_capture(args: argparse.Namespace) -> int:
+    program = _capture(
+        args.workload, args.threads, args.seed, args.scale,
+        **parse_params(args.param),
+    )
+    out = Path(args.output)
+    if out.suffix not in (BIN_SUFFIX, ".npz"):
+        raise SystemExit(
+            f"output {out.name!r} must end in {BIN_SUFFIX} or .npz"
+        )
+    save_program(program, out)
+    stats = program.stats()
+    print(
+        f"captured {program.name}: {stats.num_events} events across "
+        f"{stats.num_threads} threads -> {out} ({out.stat().st_size} bytes)"
+    )
+    return 0
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    path = Path(args.target)
+    stream = args.stream
+    if stream and path.suffix != BIN_SUFFIX:
+        raise SystemExit(f"--stream needs a {BIN_SUFFIX} trace file")
+
+    def open_program() -> Program:
+        if stream:
+            return stream_program_bin(path)
+        return _load_or_capture(
+            args.target, args.threads, args.seed, args.scale,
+            **parse_params(args.param),
+        )
+
+    program = open_program()
+    cores = args.cores or _pow2_at_least(program.num_threads)
+    protocols = (
+        list(ALL_PROTOCOLS) if args.protocol == "all" else [args.protocol]
+    )
+    table = TextTable(
+        f"Replay: {program.name} ({program.num_threads} threads, "
+        f"{cores} cores)",
+        ["protocol", "cycles", "l1_miss_rate", "flit_hops", "conflicts"],
+    )
+    report: dict[str, dict[str, float]] = {}
+    for index, protocol in enumerate(protocols):
+        if index and stream:
+            # a streamed trace's forward-only cursors are exhausted
+            # after one simulation; reopen the file per protocol
+            program = open_program()
+        cfg = SystemConfig(num_cores=cores, protocol=protocol)
+        # capture and the writers validate at record time; streamed
+        # programs cannot be re-scanned eagerly anyway
+        result = run_program(cfg, program, validate=not stream)
+        summary = result.summary()
+        report[result.protocol.value] = summary
+        table.add_row(
+            result.protocol.value,
+            summary["cycles"],
+            round(summary["l1_miss_rate"], 4),
+            summary["flit_hops"],
+            summary["conflicts"],
+        )
+    if args.format == "json":
+        print(json.dumps({"target": program.name, "runs": report},
+                         indent=2, sort_keys=True))
+    else:
+        print(table.render())
+    return 0
+
+
+def cmd_summary(args: argparse.Namespace) -> int:
+    program = _load_or_capture(
+        args.target, args.threads, args.seed, args.scale,
+        **parse_params(args.param),
+    )
+    stats = program.stats()
+    table = TextTable(
+        f"Capture: {program.name}", ["characteristic", "value"]
+    )
+    table.add_row("threads", stats.num_threads)
+    table.add_row("events", stats.num_events)
+    table.add_row("accesses", stats.num_accesses)
+    table.add_row("writes", stats.num_writes)
+    table.add_row("sync ops", stats.num_sync_ops)
+    table.add_row("regions", stats.num_regions)
+    table.add_row("distinct lines", stats.num_lines)
+    table.add_row("shared lines", stats.shared_lines)
+    print(table.render())
+    return 0
+
+
+def _add_build_args(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--threads", type=int, default=4)
+    sub.add_argument("--seed", type=int, default=1)
+    sub.add_argument("--scale", type=float, default=0.2)
+    sub.add_argument(
+        "--param", action="append", metavar="KEY=VALUE",
+        help="workload parameter (repeatable)",
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro-capture")
+    subs = parser.add_subparsers(dest="command", required=True)
+
+    cap = subs.add_parser(
+        "capture", help="record a capture-* workload to a trace file"
+    )
+    cap.add_argument("workload", help="capture workload name")
+    cap.add_argument(
+        "-o", "--output", required=True,
+        help=f"trace path ({BIN_SUFFIX} streams, .npz materializes)",
+    )
+    _add_build_args(cap)
+    cap.set_defaults(func=cmd_capture)
+
+    rep = subs.add_parser(
+        "replay", help="simulate a recorded trace or fresh capture"
+    )
+    rep.add_argument("target", help=f"trace path ({BIN_SUFFIX}/.npz) or workload name")
+    rep.add_argument(
+        "--protocol", choices=("mesi", "ce", "ce+", "arc", "all"),
+        default="all",
+    )
+    rep.add_argument(
+        "--cores", type=int, default=0,
+        help="core count (default: threads rounded up to a power of two)",
+    )
+    rep.add_argument(
+        "--stream", action="store_true",
+        help=f"replay a {BIN_SUFFIX} file out of core, one chunk at a time",
+    )
+    rep.add_argument("--format", choices=("text", "json"), default="text")
+    _add_build_args(rep)
+    rep.set_defaults(func=cmd_replay)
+
+    summ = subs.add_parser(
+        "summary", help="print a capture's characteristics"
+    )
+    summ.add_argument("target", help=f"trace path ({BIN_SUFFIX}/.npz) or workload name")
+    _add_build_args(summ)
+    summ.set_defaults(func=cmd_summary)
+
+    lst = subs.add_parser("list", help="list capture workloads")
+    lst.set_defaults(func=lambda _args: (
+        [print(name) for name in sorted(CAPTURE_WORKLOADS)], 0)[1])
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except TraceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,7 +36,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 #: checked by default: the modules whose control flow decides schedules
-DEFAULT_PATHS = ("src/repro/protocols", "src/repro/core")
+DEFAULT_PATHS = ("src/repro/protocols", "src/repro/core", "src/repro/capture")
 
 PRAGMA = "detlint: ok"
 

@@ -11,6 +11,14 @@ from .events import (
     WRITE,
     ThreadTrace,
 )
+from .binio import (
+    BinTraceReader,
+    BinTraceWriter,
+    StreamedProgram,
+    load_program_bin,
+    save_program_bin,
+    stream_program_bin,
+)
 from .io import load_program, save_program
 from .program import Program, ProgramStats
 from .regions import RegionSummary, region_ids, region_lengths, summarize_regions
@@ -19,6 +27,8 @@ from .validate import validate_program, validate_trace
 __all__ = [
     "ACQUIRE",
     "BARRIER",
+    "BinTraceReader",
+    "BinTraceWriter",
     "EVENT_DTYPE",
     "KIND_NAMES",
     "Program",
@@ -26,10 +36,14 @@ __all__ = [
     "READ",
     "RELEASE",
     "RegionSummary",
+    "StreamedProgram",
     "ThreadTrace",
     "TraceBuilder",
     "WRITE",
     "load_program",
+    "load_program_bin",
+    "save_program_bin",
+    "stream_program_bin",
     "region_ids",
     "region_lengths",
     "save_program",

@@ -140,6 +140,24 @@ class ThreadTrace:
     def gaps(self) -> np.ndarray:
         return self.events["gap"]
 
+    def columns(self):
+        """The five event columns as plain Python lists.
+
+        This is the simulator's ingestion interface: plain-int indexing
+        is several times faster than NumPy scalar indexing in the hot
+        loop.  Streamed traces (:mod:`repro.trace.binio`) override this
+        to return lazy, chunk-backed sequences instead of materialized
+        lists, so the engine never needs the whole trace in memory.
+        Order: ``(kinds, addrs, sizes, sync_ids, gaps)``.
+        """
+        return (
+            self.kinds.tolist(),
+            self.addrs.tolist(),
+            self.sizes.tolist(),
+            self.sync_ids.tolist(),
+            self.gaps.tolist(),
+        )
+
     # -- derived statistics --------------------------------------------------
 
     def num_accesses(self) -> int:

@@ -1,9 +1,16 @@
-"""Trace (de)serialization.
+"""Trace (de)serialization with transparent format dispatch.
 
-Programs round-trip through NumPy ``.npz`` archives: one structured array
-per thread plus a small JSON metadata blob.  This lets long workloads be
-generated once and replayed across protocol runs or shared between
-machines.
+Two on-disk formats round-trip :class:`~repro.trace.program.Program`:
+
+* ``.npz`` — NumPy archives (one structured array per thread plus a
+  JSON metadata blob).  Simple, monolithic, must fit in memory.
+* ``.rtb`` — the chunked streaming binary format of
+  :mod:`repro.trace.binio`.  Compact, written incrementally during
+  capture, replayable with O(chunk) memory.
+
+:func:`save_program` dispatches on the path's extension;
+:func:`load_program` dispatches on the file's magic bytes, so loading
+never depends on the file being named correctly.
 """
 
 from __future__ import annotations
@@ -19,10 +26,23 @@ from .program import Program
 
 _FORMAT_VERSION = 1
 
+#: extension of the streaming binary format
+BIN_SUFFIX = ".rtb"
+
 
 def save_program(program: Program, path: str | Path) -> None:
-    """Write ``program`` to ``path`` as a compressed ``.npz`` archive."""
+    """Write ``program`` to ``path``; the extension picks the format.
+
+    ``.rtb`` selects the streaming binary format, anything else the
+    compressed ``.npz`` archive (NumPy appends ``.npz`` itself when the
+    suffix is missing).
+    """
     path = Path(path)
+    if path.suffix == BIN_SUFFIX:
+        from .binio import save_program_bin
+
+        save_program_bin(program, path)
+        return
     meta = {
         "version": _FORMAT_VERSION,
         "name": program.name,
@@ -41,17 +61,49 @@ def save_program(program: Program, path: str | Path) -> None:
     np.savez_compressed(path, **arrays)
 
 
+def _check_version(meta: dict, path: Path) -> None:
+    """Reject archives whose format version this build cannot read."""
+    version = meta.get("version")
+    if version is None:
+        raise TraceError(
+            f"{path}: trace metadata carries no format version — not a "
+            "repro trace archive, or one predating versioned metadata"
+        )
+    if version != _FORMAT_VERSION:
+        hint = (
+            "written by a newer release"
+            if isinstance(version, int) and version > _FORMAT_VERSION
+            else "unknown"
+        )
+        raise TraceError(
+            f"{path}: unsupported trace format version {version!r} ({hint}); "
+            f"this build reads version {_FORMAT_VERSION}"
+        )
+
+
 def load_program(path: str | Path) -> Program:
-    """Load a program previously written by :func:`save_program`."""
+    """Load a program written by :func:`save_program` (either format).
+
+    The format is sniffed from the file's magic bytes: ``RTRC`` for the
+    streaming binary format, ``PK`` (a zip archive) for ``.npz``.
+    """
     path = Path(path)
+    from .binio import MAGIC, load_program_bin
+
+    with open(path, "rb") as fh:
+        magic = fh.read(len(MAGIC))
+    if magic == MAGIC:
+        return load_program_bin(path)
+    if not magic.startswith(b"PK"):
+        raise TraceError(
+            f"{path}: not a repro trace (expected an .npz archive or an "
+            f"{BIN_SUFFIX} binary trace)"
+        )
     with np.load(path) as archive:
         if "meta" not in archive:
             raise TraceError(f"{path}: not a repro trace archive (no meta)")
         meta = json.loads(bytes(archive["meta"]).decode("utf-8"))
-        if meta.get("version") != _FORMAT_VERSION:
-            raise TraceError(
-                f"{path}: unsupported trace format version {meta.get('version')}"
-            )
+        _check_version(meta, path)
         traces = []
         for tid in range(meta["num_threads"]):
             key = f"thread_{tid}"

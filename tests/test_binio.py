@@ -1,0 +1,291 @@
+"""The streaming binary trace format: codecs, round-trips, rejection.
+
+Covers the varint/zigzag codecs on their edge values, property-based
+round-trips Program ↔ npz ↔ binio (the two formats must agree event
+for event), the streamed out-of-core reader against the materialized
+one, and the reader's rejection of truncated and corrupted files.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import TraceError
+from repro.trace import (
+    BinTraceReader,
+    BinTraceWriter,
+    Program,
+    TraceBuilder,
+    load_program,
+    save_program,
+)
+from repro.trace.binio import (
+    FORMAT_VERSION,
+    MAGIC,
+    decode_varints,
+    encode_varints,
+    load_program_bin,
+    save_program_bin,
+    stream_program_bin,
+    zigzag_decode,
+    zigzag_encode,
+)
+from repro.trace.events import EVENT_DTYPE
+
+
+# ---------------------------------------------------------------- codecs
+
+
+class TestVarint:
+    def test_edge_values(self):
+        values = np.array(
+            [0, 1, 127, 128, 129, 2**14 - 1, 2**14, 2**32, 2**62 - 1],
+            dtype=np.uint64,
+        )
+        blob = np.frombuffer(encode_varints(values), dtype=np.uint8)
+        decoded, consumed = decode_varints(blob, len(values))
+        assert consumed == len(blob)
+        assert np.array_equal(decoded, values)
+
+    def test_single_byte_values_encode_to_one_byte(self):
+        values = np.arange(128, dtype=np.uint64)
+        assert len(encode_varints(values)) == 128
+
+    def test_empty(self):
+        assert encode_varints(np.zeros(0, dtype=np.uint64)) == b""
+        decoded, consumed = decode_varints(np.zeros(0, dtype=np.uint8), 0)
+        assert len(decoded) == 0 and consumed == 0
+
+    def test_truncated_stream_rejected(self):
+        blob = np.frombuffer(
+            encode_varints(np.array([2**40], dtype=np.uint64)), dtype=np.uint8
+        )
+        with pytest.raises(TraceError):
+            decode_varints(blob[:-1], 1)
+
+    @given(
+        st.lists(st.integers(0, 2**62 - 1), min_size=0, max_size=200)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, values):
+        arr = np.array(values, dtype=np.uint64)
+        blob = np.frombuffer(encode_varints(arr), dtype=np.uint8)
+        decoded, consumed = decode_varints(blob, len(arr))
+        assert consumed == len(blob)
+        assert np.array_equal(decoded, arr)
+
+
+class TestZigzag:
+    @given(st.lists(st.integers(-(2**31), 2**31 - 1), max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip(self, values):
+        arr = np.array(values, dtype=np.int64)
+        assert np.array_equal(zigzag_decode(zigzag_encode(arr)), arr)
+
+    def test_small_magnitudes_stay_small(self):
+        # zigzag maps -1,1,-2,2 ... to 1,2,3,4: sign costs one bit
+        arr = np.array([0, -1, 1, -2, 2], dtype=np.int64)
+        assert zigzag_encode(arr).tolist() == [0, 1, 2, 3, 4]
+
+
+# ----------------------------------------------------------- round-trips
+
+
+def small_program(name="bin-prog"):
+    t0 = (
+        TraceBuilder()
+        .read(0)
+        .acquire(1)
+        .write(8, size=4, gap=3)
+        .release(1)
+        .barrier(2)
+        .build()
+    )
+    t1 = TraceBuilder().barrier(2).read(64, size=1).write(4096).build()
+    return Program([t0, t1], name=name)
+
+
+@st.composite
+def programs(draw):
+    num_threads = draw(st.integers(1, 3))
+    traces = []
+    for _ in range(num_threads):
+        builder = TraceBuilder()
+        for _ in range(draw(st.integers(0, 30))):
+            op = draw(st.integers(0, 1))
+            addr = draw(st.integers(0, 2**20)) * 4
+            size = draw(st.sampled_from([1, 2, 4, 8]))
+            gap = draw(st.integers(0, 50))
+            if op == 0:
+                builder.read(addr, size=size, gap=gap)
+            else:
+                builder.write(addr, size=size, gap=gap)
+            if draw(st.booleans()):
+                lock = draw(st.integers(0, 3))
+                if lock in builder.held_locks:
+                    builder.release(lock)
+                elif draw(st.booleans()):
+                    builder.acquire(lock)
+        for lock in builder.held_locks:
+            builder.release(lock)
+        traces.append(builder.build())
+    return Program(traces, name="hypo")
+
+
+def assert_programs_equal(a: Program, b: Program):
+    assert a.name == b.name
+    assert a.num_threads == b.num_threads
+    assert a.barrier_participants == b.barrier_participants
+    for ta, tb in zip(a.traces, b.traces):
+        assert ta == tb
+
+
+class TestRoundTrip:
+    def test_explicit_program(self, tmp_path):
+        original = small_program()
+        path = tmp_path / "p.rtb"
+        save_program_bin(original, path)
+        assert_programs_equal(original, load_program_bin(path))
+
+    def test_io_dispatch_by_extension_and_magic(self, tmp_path):
+        original = small_program()
+        path = tmp_path / "p.rtb"
+        save_program(original, path)
+        assert path.read_bytes()[: len(MAGIC)] == MAGIC
+        # load_program sniffs magic, not extension
+        disguised = tmp_path / "p.npz"
+        disguised.write_bytes(path.read_bytes())
+        assert_programs_equal(original, load_program(disguised))
+
+    def test_empty_trace_threads(self, tmp_path):
+        program = Program(
+            [TraceBuilder().build(), TraceBuilder().read(0).build()],
+            name="mostly-empty",
+        )
+        path = tmp_path / "e.rtb"
+        save_program_bin(program, path)
+        assert_programs_equal(program, load_program_bin(path))
+
+    @given(program=programs())
+    @settings(max_examples=25, deadline=None)
+    def test_program_npz_binio_agree(self, program, tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("rt")
+        npz, rtb = tmp / "p.npz", tmp / "p.rtb"
+        save_program(program, npz)
+        save_program(program, rtb)
+        from_npz = load_program(npz)
+        from_rtb = load_program(rtb)
+        assert_programs_equal(from_npz, from_rtb)
+        assert_programs_equal(program, from_rtb)
+
+    def test_multi_chunk_writer(self, tmp_path):
+        builder = TraceBuilder()
+        for i in range(1000):
+            builder.write(i * 8, gap=i % 7)
+        program = Program([builder.build()], name="chunky")
+        path = tmp_path / "c.rtb"
+        save_program_bin(program, path, chunk_events=64)
+        with BinTraceReader(path) as reader:
+            assert len(reader._chunks[0]) > 1
+        assert_programs_equal(program, load_program_bin(path))
+
+
+# -------------------------------------------------------------- streaming
+
+
+class TestStreaming:
+    def test_streamed_columns_match_materialized(self, tmp_path):
+        builder = TraceBuilder()
+        for i in range(500):
+            builder.write(i * 16, size=4, gap=i % 5)
+            if i % 50 == 49:
+                builder.acquire(0).release(0)
+        program = Program([builder.build()], name="stream")
+        path = tmp_path / "s.rtb"
+        save_program_bin(program, path, chunk_events=32)
+
+        streamed = stream_program_bin(path)
+        got = streamed.traces[0].columns()
+        want = program.traces[0].columns()
+        assert all(len(g) == len(w) for g, w in zip(got, want))
+        # the five views share one forward-only cursor: walk index-major
+        for i in range(len(want[0])):
+            assert tuple(g[i] for g in got) == tuple(w[i] for w in want)
+
+    def test_streamed_materialize(self, tmp_path):
+        program = small_program("mat")
+        path = tmp_path / "m.rtb"
+        save_program_bin(program, path)
+        assert_programs_equal(program, stream_program_bin(path).materialize())
+
+    def test_forward_only_cursor_rejects_rewind(self, tmp_path):
+        builder = TraceBuilder()
+        for i in range(200):
+            builder.read(i * 8)
+        path = tmp_path / "f.rtb"
+        save_program_bin(
+            Program([builder.build()], name="fwd"), path, chunk_events=32
+        )
+        kinds = stream_program_bin(path).traces[0].columns()[0]
+        assert kinds[150] == 0
+        with pytest.raises(TraceError, match="forward"):
+            kinds[0]
+
+
+# -------------------------------------------------------------- rejection
+
+
+class TestRejection:
+    def write_file(self, tmp_path, chunk_events=32):
+        builder = TraceBuilder()
+        for i in range(256):
+            builder.write(i * 8)
+        program = Program([builder.build()], name="victim")
+        path = tmp_path / "v.rtb"
+        save_program_bin(program, path, chunk_events=chunk_events)
+        return path
+
+    def test_truncated_footer_rejected(self, tmp_path):
+        path = self.write_file(tmp_path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(TraceError, match="truncat"):
+            load_program_bin(path)
+
+    def test_corrupt_payload_rejected(self, tmp_path):
+        path = self.write_file(tmp_path)
+        data = bytearray(path.read_bytes())
+        # flip a byte well inside the first chunk payload
+        data[60] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(TraceError):
+            load_program_bin(path)
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = self.write_file(tmp_path)
+        data = bytearray(path.read_bytes())
+        data[:4] = b"NOPE"
+        path.write_bytes(bytes(data))
+        with pytest.raises(TraceError):
+            load_program_bin(path)
+
+    def test_future_version_rejected(self, tmp_path):
+        path = self.write_file(tmp_path)
+        data = bytearray(path.read_bytes())
+        data[len(MAGIC)] = FORMAT_VERSION + 1
+        path.write_bytes(bytes(data))
+        with pytest.raises(TraceError, match="version"):
+            load_program_bin(path)
+
+    def test_writer_abort_leaves_rejectable_torso(self, tmp_path):
+        path = tmp_path / "abort.rtb"
+        events = np.zeros(4, dtype=EVENT_DTYPE)
+        try:
+            with BinTraceWriter(path, 1, "abort") as writer:
+                writer.append(0, events)
+                raise RuntimeError("capture failed")
+        except RuntimeError:
+            pass
+        with pytest.raises(TraceError):
+            load_program_bin(path)

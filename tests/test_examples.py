@@ -51,3 +51,31 @@ class TestExamples:
         assert "detected ⊆ overlap: True" in out
         assert "clean run 0 conflicts" in out
         assert "injected run" in out
+
+
+@pytest.mark.slow
+class TestCaptureExamples:
+    def test_histogram(self, capsys):
+        out = run_example("capture/histogram.py", [], capsys)
+        assert "captured histogram-example" in out
+        assert "total 384 == items 384: True" in out
+        assert "conflicts 0" in out
+
+    def test_blackscholes(self, capsys):
+        out = run_example("capture/blackscholes.py", [], capsys)
+        assert "identical to in-memory run: True" in out
+        assert "x smaller" in out
+
+    def test_pipeline(self, capsys):
+        out = run_example("capture/pipeline.py", [], capsys)
+        assert "captured capture-pipeline" in out
+        assert "0 conflicts" in out
+
+    def test_workqueue(self, capsys):
+        out = run_example("capture/workqueue.py", [], capsys)
+        assert "streamed replay identical to in-memory replay: True" in out
+
+    def test_racy_counter(self, capsys):
+        out = run_example("capture/racy_counter.py", [], capsys)
+        assert "detected ⊆ overlap: True" in out
+        assert "conflicts reported" in out

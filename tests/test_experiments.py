@@ -28,6 +28,7 @@ EXPECTED_IDS = {
     "abl_private_l2",
     "abl_sparse_directory",
     "abl_aim_writeback",
+    "captured_workloads",
 }
 
 

@@ -37,6 +37,34 @@ class TestRoundTrip:
         with pytest.raises(TraceError, match="no meta"):
             load_program(path)
 
+    def _rewrite_meta(self, path, mutate):
+        import json
+
+        with np.load(path) as archive:
+            meta = json.loads(bytes(archive["meta"]).decode())
+            arrays = {
+                key: archive[key] for key in archive.files if key != "meta"
+            }
+        mutate(meta)
+        arrays["meta"] = np.frombuffer(
+            json.dumps(meta).encode(), dtype=np.uint8
+        ).copy()
+        np.savez(path, **arrays)
+
+    def test_future_version_rejected(self, tmp_path):
+        path = tmp_path / "future.npz"
+        save_program(Program([TraceBuilder().read(0).build()], name="f"), path)
+        self._rewrite_meta(path, lambda meta: meta.update(version=99))
+        with pytest.raises(TraceError, match="version 99.*newer release"):
+            load_program(path)
+
+    def test_missing_version_rejected(self, tmp_path):
+        path = tmp_path / "unversioned.npz"
+        save_program(Program([TraceBuilder().read(0).build()], name="u"), path)
+        self._rewrite_meta(path, lambda meta: meta.pop("version"))
+        with pytest.raises(TraceError, match="no format version"):
+            load_program(path)
+
     def test_missing_thread_array(self, tmp_path):
         t0 = TraceBuilder().read(0).build()
         program = Program([t0], name="x")
