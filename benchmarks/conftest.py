@@ -12,9 +12,38 @@ Run paper-scale versions with ``python -m repro.harness.run <exp-id>``.
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.harness import Settings, run_experiment
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def record_bench(stem: str, payload: dict) -> Path:
+    """Append/update the committed ``BENCH_<stem>.json`` snapshot.
+
+    Top-level keys in ``payload`` replace their counterparts; keys the
+    payload doesn't mention (e.g. a committed ``floor``) are preserved,
+    so a measurement refresh never silently weakens a gate.  Output is
+    sorted and newline-terminated to keep the committed diff minimal.
+    """
+    path = REPO_ROOT / f"BENCH_{stem}.json"
+    data = json.loads(path.read_text()) if path.exists() else {}
+    data.update(payload)
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def committed_floor(stem: str, default: float) -> float:
+    """The perf floor recorded in ``BENCH_<stem>.json`` (``default``
+    when the snapshot doesn't exist yet or records no floor)."""
+    path = REPO_ROOT / f"BENCH_{stem}.json"
+    if path.exists():
+        return float(json.loads(path.read_text()).get("floor", default))
+    return default
 
 
 @pytest.fixture(scope="session")

@@ -35,6 +35,7 @@ from .common.errors import (
     TraceError,
 )
 from .core.api import ALL_PROTOCOLS, compare_protocols, run_program
+from .core.batch import BatchSimulator, make_simulator
 from .core.results import Comparison, RunResult, geomean
 from .core.simulator import Simulator
 from .trace.builder import TraceBuilder
@@ -45,6 +46,7 @@ __version__ = "1.0.0"
 __all__ = [
     "ALL_PROTOCOLS",
     "AimConfig",
+    "BatchSimulator",
     "CacheConfig",
     "Comparison",
     "ConfigError",
@@ -63,6 +65,7 @@ __all__ = [
     "TraceError",
     "compare_protocols",
     "geomean",
+    "make_simulator",
     "run_program",
     "__version__",
 ]

@@ -18,8 +18,8 @@ from collections.abc import Callable, Iterable
 from ..common.config import ProtocolKind, SystemConfig
 from ..trace.program import Program
 from ..trace.validate import validate_program
+from .batch import make_simulator
 from .results import Comparison, RunResult
-from .simulator import Simulator
 
 ALL_PROTOCOLS = (
     ProtocolKind.MESI,
@@ -30,12 +30,21 @@ ALL_PROTOCOLS = (
 
 
 def run_program(
-    cfg: SystemConfig, program: Program, *, validate: bool = True
+    cfg: SystemConfig,
+    program: Program,
+    *,
+    validate: bool = True,
+    engine: str | None = None,
 ) -> RunResult:
-    """Simulate ``program`` on ``cfg`` and return the run's results."""
+    """Simulate ``program`` on ``cfg`` and return the run's results.
+
+    ``engine`` picks the simulation tier (``"scalar"`` or ``"batch"``,
+    byte-identical by the differential suite); ``None`` defers to
+    ``$REPRO_ENGINE`` and then the batch default.
+    """
     if validate:
         validate_program(program, cfg.line_size)
-    return Simulator(cfg, program).run()
+    return make_simulator(cfg, program, engine=engine).run()
 
 
 #: maps (config, program) pairs to their results, order-preserving;
@@ -74,7 +83,7 @@ def compare_protocols(
         results = dict(zip(kinds, runner(pairs)))
     else:
         results = {
-            kind: Simulator(cfg.with_protocol(kind), program).run()
+            kind: make_simulator(cfg.with_protocol(kind), program).run()
             for kind in kinds
         }
     return Comparison(program_name=program.name, results=results)

@@ -1,10 +1,21 @@
-"""The multicore trace-driven engine.
+"""The multicore trace-driven engine (scalar tier).
 
 Each core owns a logical clock and executes its thread's events in
 order; the engine always advances the *earliest* runnable core (a heap),
 which makes the interleaving deterministic and keeps cores loosely
 synchronized so the windowed NoC/DRAM contention models see coherent
 time.
+
+This module is the *scalar* tier of a two-tier engine: every event is
+dispatched individually through the protocol model.
+:mod:`repro.core.batch` subclasses :class:`Simulator` to bulk-apply runs
+of uncontended L1 hits while delegating everything else back to the
+per-event ``_step`` below; the differential suite
+(``tests/test_engine_equiv.py``) pins the two engines byte-identical.
+Events are ingested through ``ThreadTrace.columns()`` — plain-list
+columns for in-memory traces, lazy chunk-backed views for streamed
+``.rtb`` traces — and addressed by a per-core monotonically advancing
+index.
 
 Synchronization semantics:
 
@@ -22,8 +33,7 @@ metadata clearing, ARC self-downgrade/self-invalidation) is charged to
 the synchronizing core.
 
 The engine performs deadlock detection (impossible for programs passing
-:func:`repro.trace.validate.validate_program`, but cheap insurance) and
-exposes progress hooks for long runs.
+:func:`repro.trace.validate.validate_program`, but cheap insurance).
 """
 
 from __future__ import annotations
@@ -301,6 +311,15 @@ class Simulator:
         )
 
 
-def run_program(cfg: SystemConfig, program: Program) -> RunResult:
-    """Convenience one-shot: simulate ``program`` on ``cfg``."""
-    return Simulator(cfg, program).run()
+def run_program(
+    cfg: SystemConfig, program: Program, *, engine: str | None = None
+) -> RunResult:
+    """Convenience one-shot: simulate ``program`` on ``cfg``.
+
+    ``engine`` selects the tier (``"scalar"`` or ``"batch"``); ``None``
+    defers to ``$REPRO_ENGINE`` and then the batch default.  Both
+    engines are byte-identical, so the choice only affects wall-clock.
+    """
+    from .batch import make_simulator  # deferred: batch imports this module
+
+    return make_simulator(cfg, program, engine=engine).run()

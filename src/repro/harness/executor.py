@@ -57,8 +57,8 @@ from ..common.errors import (
     is_transient,
 )
 from ..core.api import ALL_PROTOCOLS
+from ..core.batch import make_simulator
 from ..core.results import Comparison, RunResult
-from ..core.simulator import Simulator
 from ..synth.base import generate
 from ..trace.program import Program, ProgramStats
 from ..trace.validate import validate_program
@@ -186,7 +186,9 @@ def _simulate_point(point: SimPoint) -> tuple[RunResult, float]:
     start = time.perf_counter()
     program = point.build_program()
     validate_program(program, point.cfg.line_size)
-    result = Simulator(point.cfg, program).run()
+    # Engine choice rides on $REPRO_ENGINE (workers are forked, so they
+    # inherit it); results are engine-independent, so cache keys are too.
+    result = make_simulator(point.cfg, program).run()
     return result, time.perf_counter() - start
 
 

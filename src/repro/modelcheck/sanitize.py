@@ -159,6 +159,26 @@ def _arc_checker(protocol):
     return check
 
 
+def line_checkers(protocol) -> list:
+    """Build the line-scoped checkers applicable to ``protocol``.
+
+    Each returned closure takes one line base address and raises
+    :class:`~repro.common.errors.SimulationError` on a violation; all
+    checks are read-only.  Shared by :func:`arm_protocol` (per-dispatch
+    checks) and the batch engine (per-distinct-line checks after a bulk
+    run).  Call only once the protocol subclass is fully constructed —
+    the structural probe duck-types on subclass attributes.
+    """
+    checks: list = []
+    if hasattr(protocol, "directory"):
+        checks.append(_mesi_checker(protocol))
+    if hasattr(protocol, "meta_table"):
+        checks.append(_ce_checker(protocol))
+    if hasattr(protocol, "owner_table"):
+        checks.append(_arc_checker(protocol))
+    return checks
+
+
 def _check_boundary(protocol, core: int, kind: int) -> None:
     if hasattr(protocol, "spill_log") and protocol.spill_log[core]:
         _fail(
@@ -208,12 +228,7 @@ def arm_protocol(protocol) -> None:
         latency = inner_access(core, addr, size, is_write, cycle)
         if not resolved:
             resolved = True
-            if hasattr(protocol, "directory"):
-                checks.append(_mesi_checker(protocol))
-            if hasattr(protocol, "meta_table"):
-                checks.append(_ce_checker(protocol))
-            if hasattr(protocol, "owner_table"):
-                checks.append(_arc_checker(protocol))
+            checks.extend(line_checkers(protocol))
         line = line_of(addr)
         for check in checks:
             check(line)

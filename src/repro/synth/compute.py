@@ -1,0 +1,61 @@
+"""Compute-bound workload ("water-like").
+
+The pattern SPLASH-2's water-nsquared motivates: each thread sweeps its
+own L1-resident molecule array over and over (force evaluation), reading
+a small read-only table of physical constants, with a barrier per
+timestep.  After the first sweep warms the cache, essentially every
+access is an L1 hit to thread-private or read-only-shared data — the
+*dispatch-bound* regime where simulation wall-clock is pure per-event
+protocol dispatch rather than memory-system modelling.  This is the
+workload :mod:`benchmarks.bench_simcore` gates the batch engine's
+speedup floor on (see docs/ENGINE.md).
+"""
+
+from __future__ import annotations
+
+from ..common.rng import make_rng
+from ..trace.program import Program
+from .base import scaled, workload
+from .patterns import AddressSpace, TraceAssembler, random_span, strided_span
+
+
+@workload("compute-water")
+def generate(
+    num_threads: int,
+    seed: int,
+    scale: float,
+    *,
+    timesteps: int = 4,
+    sweeps_per_step: int = 6,
+    molecules_kb: int = 8,
+    table_kb: int = 4,
+    table_reads_per_sweep: int = 160,
+    gap: int = 1,
+) -> Program:
+    space = AddressSpace()
+    table_bytes = table_kb * 1024
+    table_base = space.alloc(table_bytes)
+    molecule_bytes = molecules_kb * 1024
+    molecules = space.alloc_per_thread(num_threads, molecule_bytes)
+
+    n_table = scaled(table_reads_per_sweep, scale)
+    n_sweeps = scaled(sweeps_per_step, scale)
+
+    traces = []
+    for tid in range(num_threads):
+        rng = make_rng(seed, "compute-water", tid)
+        asm = TraceAssembler()
+        positions = strided_span(molecules[tid], molecule_bytes // 8)
+        for _ in range(timesteps):
+            for _ in range(n_sweeps):
+                # force evaluation: read every molecule, consult the
+                # constants table, accumulate back in place
+                asm.reads(positions, gap=gap)
+                asm.reads(
+                    random_span(rng, table_base, table_bytes, n_table),
+                    gap=gap,
+                )
+                asm.writes(positions, gap=gap)
+            asm.barrier(0)
+        traces.append(asm.build())
+    return Program(traces, name="compute-water")

@@ -13,6 +13,7 @@ from . import (  # noqa: F401
     alltoall,
     barrier_phases,
     captured,
+    compute,
     dataparallel,
     false_sharing,
     irregular,
@@ -48,6 +49,7 @@ EXTRA_WORKLOADS: tuple[str, ...] = (
     "irregular-barnes",
     "reduction-fmm",
     "alltoall-radix",
+    "compute-water",
 )
 
 #: captured real-program workloads (see repro.capture); conflict-free

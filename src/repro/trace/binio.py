@@ -651,6 +651,12 @@ class StreamedThreadTrace:
         cursor = _ChunkCursor(self._reader, self._refs)
         return tuple(_LazyColumn(cursor, col, self._length) for col in range(5))
 
+    def iter_chunks(self):
+        """Yield decoded chunk arrays in file order (one in memory at a
+        time) — the streamed counterpart of ``ThreadTrace.iter_chunks``."""
+        for ref in self._refs:
+            yield self._reader._load_chunk(ref)
+
     def materialize(self) -> ThreadTrace:
         """Decode every chunk into an ordinary in-memory trace."""
         if not self._refs:

@@ -158,6 +158,18 @@ class ThreadTrace:
             self.gaps.tolist(),
         )
 
+    def iter_chunks(self):
+        """Yield the event array in forward order, chunk by chunk.
+
+        The batch engine's classification and window passes consume
+        traces through this interface so they work identically on
+        materialized and streamed traces.  A materialized trace is one
+        chunk; :class:`repro.trace.binio.StreamedThreadTrace` yields its
+        decoded ``.rtb`` chunks, keeping memory O(chunk).
+        """
+        if len(self.events):
+            yield self.events
+
     # -- derived statistics --------------------------------------------------
 
     def num_accesses(self) -> int:

@@ -1,5 +1,7 @@
-"""Verification harness: schedule recording + ground-truth conflict oracles."""
+"""Verification harness: schedule recording, ground-truth conflict
+oracles, and the scalar-vs-batch differential engine checker."""
 
+from .diffengine import assert_identical, diff_engines, render_result
 from .inject import inject_race, injected_line
 from .oracle import (
     ConflictKey,
@@ -18,12 +20,15 @@ __all__ = [
     "RegionInterval",
     "LineSummary",
     "ScheduleRecorder",
+    "assert_identical",
     "ce_conflicts",
+    "diff_engines",
     "detected_keys",
     "inject_race",
     "injected_line",
     "kind_mix",
     "overlap_conflicts",
+    "render_result",
     "summarize",
     "summary_table",
 ]

@@ -1,0 +1,96 @@
+"""Differential verification of the scalar and batch engines.
+
+The batch engine's contract (docs/ENGINE.md) is *byte-identical* output,
+not statistical agreement: every counter, every conflict record, every
+rendered table must match the scalar engine exactly.  This module is the
+shared measuring stick — :func:`render_result` flattens a
+:class:`~repro.core.results.RunResult` into one canonical, deterministic
+text form covering the summary metrics, every ``Stats`` field, the
+network/DRAM accounting and the full conflict log; :func:`diff_engines`
+runs both engines on fresh simulators and returns the two renderings;
+:func:`assert_identical` raises with a unified diff on the first
+discrepancy.
+
+``tests/test_engine_equiv.py`` drives this over every registered
+workload and every protocol; it is also importable from a REPL to
+bisect a divergence by hand (pair it with ``force_residue_lines`` on
+:class:`~repro.core.batch.BatchSimulator`)."""
+
+from __future__ import annotations
+
+import difflib
+
+from ..core.batch import BatchSimulator
+from ..core.simulator import Simulator
+from ..core.stats import Stats
+
+
+def render_result(result) -> str:
+    """Canonical text rendering of everything a run measured.
+
+    Deterministic by construction: fixed field order (dataclass order
+    for ``Stats``, sorted keys for the summary), ``repr`` for floats so
+    no rounding can mask a divergence, and the complete conflict log.
+    """
+    lines = [
+        f"program: {result.program_name}",
+        f"protocol: {result.cfg.protocol.value}",
+    ]
+    for key in sorted(result.summary()):
+        lines.append(f"summary.{key}: {result.summary()[key]!r}")
+    for name in Stats.__dataclass_fields__:
+        if name == "conflicts":
+            continue
+        lines.append(f"stats.{name}: {getattr(result.stats, name)!r}")
+    for cat, hops in sorted(result.flit_hops_by_category().items()):
+        lines.append(f"net.flit_hops.{cat}: {hops}")
+    lines.append(f"net.peak_link_utilization: {result.net.peak_link_utilization!r}")
+    lines.append(f"net.saturated_link_windows: {result.net.saturated_link_windows}")
+    lines.append(f"dram.total_bytes: {result.dram.total_bytes}")
+    lines.append(f"dram.metadata_bytes: {result.dram.metadata_bytes}")
+    lines.append(f"conflicts: {len(result.stats.conflicts)}")
+    for i, c in enumerate(result.stats.conflicts):
+        lines.append(
+            f"conflict[{i}]: cycle={c.cycle} line={c.line_addr:#x} "
+            f"mask={c.byte_mask:#x} first={c.first_core}@{c.first_region}"
+            f"{'W' if c.first_was_write else 'R'} "
+            f"second={c.second_core}@{c.second_region}"
+            f"{'W' if c.second_was_write else 'R'} by={c.detected_by}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def diff_engines(cfg, program, *, sanitize=None) -> tuple[str, str]:
+    """Run ``program`` under both engines on fresh simulators and return
+    ``(scalar_rendering, batch_rendering)``.
+
+    A conflict-raising protocol configuration propagates its exception
+    unchanged — callers asserting on racy workloads should configure
+    ``deliver_exceptions=False``-style settings upstream or catch it.
+    """
+    scalar = Simulator(cfg, program, sanitize=sanitize).run()
+    batch = BatchSimulator(cfg, program, sanitize=sanitize).run()
+    return render_result(scalar), render_result(batch)
+
+
+def assert_identical(cfg, program, *, sanitize=None, context: str = "") -> str:
+    """Assert byte-identical engine output; returns the (shared)
+    rendering on success, raises ``AssertionError`` with a unified diff
+    naming the first divergent quantity on failure."""
+    scalar_text, batch_text = diff_engines(cfg, program, sanitize=sanitize)
+    if scalar_text != batch_text:
+        diff = "\n".join(
+            difflib.unified_diff(
+                scalar_text.splitlines(),
+                batch_text.splitlines(),
+                fromfile="scalar",
+                tofile="batch",
+                lineterm="",
+            )
+        )
+        where = f" [{context}]" if context else ""
+        raise AssertionError(
+            f"engine divergence{where}: {program.name} on "
+            f"{cfg.protocol.value}\n{diff}"
+        )
+    return scalar_text

@@ -557,3 +557,32 @@ class TestPartialRendering:
         assert stats[ProtocolKind.ARC].failures == 1
         assert stats[ProtocolKind.CE].failures == 0
         assert stats[ProtocolKind.CE].mean > 0
+
+
+# --------------------------------------------------------------------------
+# engine choice under chaos
+# --------------------------------------------------------------------------
+
+
+class TestEngineChaos:
+    def test_batch_engine_chaos_run_byte_identical_to_scalar(self, monkeypatch):
+        """A chaos plan (worker crashes + retries) with ``--engine batch``
+        must settle on output byte-identical to a fault-free scalar run:
+        the engine choice rides on $REPRO_ENGINE into the forked workers,
+        and neither the fault injection nor the resubmission path may
+        perturb what the batch engine computes."""
+        from repro.core.batch import ENGINE_ENV
+        from repro.verify.diffengine import render_result
+
+        pts = points(4)
+        monkeypatch.setenv(ENGINE_ENV, "scalar")
+        expected = [
+            render_result(r) for r in Executor(jobs=1).run_points(pts)
+        ]
+        monkeypatch.setenv(ENGINE_ENV, "batch")
+        plan = FaultPlan(seed=3, crash_rate=0.4)
+        with Executor(jobs=2, retries=10, fault_plan=plan, backoff=0.01) as ex:
+            results = ex.run_points(pts)
+        assert [render_result(r) for r in results] == expected
+        assert ex.manifest.retried >= 1  # the chaos actually bit
+        assert ex.manifest.failed == 0
