@@ -132,6 +132,24 @@ C407 = _rule(
     "the simulator refuses programs with more threads than cores; "
     "raise num_cores or rebuild the workload with fewer threads",
 )
+CAP501 = _rule(
+    "CAP501", "warning", "serialized capture: one lock guards all sharing",
+    "every cross-thread line access holds a common lock, so detectors "
+    "can never fire; narrow the lock scope or split the lock if the "
+    "capture was meant to exercise concurrent sharing",
+)
+CAP502 = _rule(
+    "CAP502", "info", "no cross-thread sharing captured",
+    "threads touch disjoint lines; conflict detection is trivially "
+    "clean — raise the thread count or shrink per-thread partitions "
+    "if sharing was intended",
+)
+CAP503 = _rule(
+    "CAP503", "info", "all shared traffic on a single line",
+    "cross-thread sharing collapses onto one cache line (contention "
+    "microbenchmark shape); spread shared state across lines for "
+    "protocol-realistic traffic",
+)
 
 
 def _finding(rule: Rule, subject: str, message: str) -> Finding:
@@ -282,6 +300,71 @@ def _granularity_rule(program: Program, cfg: SystemConfig) -> list[Finding]:
 
 
 # --------------------------------------------------------------------------
+# capture-shape rules (CAP5xx)
+# --------------------------------------------------------------------------
+
+
+def _capture_rules(program: Program, line_size: int = 64) -> list[Finding]:
+    """Shape checks for runtime-captured programs.
+
+    Gated on the ``capture`` name prefix: synthetic generators build
+    sharing patterns on purpose, but a *capture* with degenerate
+    sharing usually means the instrumented program (or its scale) does
+    not exercise what the capture was for.
+    """
+    if not program.name.startswith("capture"):
+        return []
+    shift = np.uint64(line_size.bit_length() - 1)
+    mask = ~np.uint64(line_size - 1)
+    touched: dict[int, set[int]] = {}
+    for tid, trace in enumerate(program.traces):
+        access = trace.kinds <= WRITE
+        lines = np.unique((trace.addrs[access] >> shift) << shift)
+        for line in lines.tolist():
+            touched.setdefault(int(line), set()).add(tid)
+    shared = {line for line, tids in touched.items() if len(tids) > 1}
+    if not shared:
+        return [_finding(
+            CAP502, program.name,
+            f"{len(touched)} line(s) touched, none by more than one thread",
+        )]
+    findings = []
+    if len(shared) == 1:
+        (line,) = shared
+        findings.append(_finding(
+            CAP503, program.name,
+            f"the only cross-thread line is {line:#x}, touched by threads "
+            f"{sorted(touched[line])}",
+        ))
+    shared_arr = np.array(sorted(shared), dtype=np.uint64)
+    common: set[int] | None = None
+    for trace in program.traces:
+        kinds = trace.kinds
+        lines = trace.addrs & mask
+        interesting = (kinds >= ACQUIRE) | (
+            (kinds <= WRITE) & np.isin(lines, shared_arr)
+        )
+        held: set[int] = set()
+        for i in np.flatnonzero(interesting).tolist():
+            kind = int(kinds[i])
+            if kind == ACQUIRE:
+                held.add(int(trace.sync_ids[i]))
+            elif kind == RELEASE:
+                held.discard(int(trace.sync_ids[i]))
+            elif kind <= WRITE:
+                common = set(held) if common is None else (common & held)
+                if not common:
+                    return findings
+    if common:
+        findings.append(_finding(
+            CAP501, program.name,
+            f"every access to the {len(shared)} shared line(s) holds "
+            f"lock(s) {sorted(common)}",
+        ))
+    return findings
+
+
+# --------------------------------------------------------------------------
 # config rules
 # --------------------------------------------------------------------------
 
@@ -338,6 +421,9 @@ def lint_program(
     findings, edges = _lock_discipline(program)
     findings += _lock_order_cycles(edges)
     findings += _barrier_rules(program)
+    findings += _capture_rules(
+        program, cfg.line_size if cfg is not None else 64
+    )
     if cfg is not None:
         findings += _granularity_rule(program, cfg)
         findings += lint_config(cfg, program)

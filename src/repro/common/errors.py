@@ -46,6 +46,24 @@ class CaptureError(ReproError):
     produced a trace the simulator could not replay."""
 
 
+class StaticAnalysisError(ReproError):
+    """The static conflict analyzer cannot produce a sound report for
+    this source: the program leaves the analyzable capture-DSL subset
+    (abstract allocation sizes, non-concrete thread counts, ...).
+
+    Never raised for mere imprecision — unknown values widen to
+    conservative results instead; this is for inputs where even the
+    widened result could not be trusted."""
+
+
+class StaticSoundnessError(ReproError):
+    """A static hint contradicted the exact dynamic computation it is
+    required to over-approximate (e.g. a line the exact classifier
+    proves CONTENDED that the static hint calls private).  Seeing this
+    exception means the static analyzer — or the hint plumbing — has a
+    soundness bug; results derived from the hint must be discarded."""
+
+
 # --------------------------------------------------------------------------
 # harness failure taxonomy
 # --------------------------------------------------------------------------

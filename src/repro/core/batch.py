@@ -124,6 +124,7 @@ def make_simulator(
     *,
     sanitize: bool | None = None,
     engine: str | None = None,
+    static_hint=None,
 ):
     """Build the selected engine's simulator for ``program`` on ``cfg``.
 
@@ -132,7 +133,9 @@ def make_simulator(
     golden outputs are engine-independent.
     """
     if resolve_engine(engine) == "batch":
-        return BatchSimulator(cfg, program, recorder, sanitize=sanitize)
+        return BatchSimulator(
+            cfg, program, recorder, sanitize=sanitize, static_hint=static_hint
+        )
     return Simulator(cfg, program, recorder, sanitize=sanitize)
 
 
@@ -180,14 +183,92 @@ class LineClassification:
         }
 
 
-def classify_program(program, line_size: int) -> LineClassification:
+def classify_program(
+    program,
+    line_size: int,
+    *,
+    static_hint: LineClassification | None = None,
+    validate_hint: bool = True,
+) -> LineClassification:
     """Classify every line ``program`` touches by its sharing pattern.
 
     Streams each trace chunk-by-chunk (``ThreadTrace.iter_chunks`` is a
     single chunk for materialized traces, the decoded ``.rtb`` chunks
     for streamed ones), keeping only per-thread *unique line* sets in
     memory — O(working set), never O(events).
+
+    ``static_hint`` substitutes a precomputed classification from the
+    static analyzer (:meth:`repro.statics.StaticReport.line_hint`).
+    Because static classes over-approximate — a statically PRIVATE line
+    is dynamically private-or-untouched, never shared — the hint is safe
+    to drive the fast path, merely pessimistic.  With ``validate_hint``
+    (the default) the exact classification is still computed and the
+    hint checked against the engine-safety contract, raising
+    :class:`~repro.common.errors.StaticSoundnessError` on any line the
+    hint places *below* the exact class; ``validate_hint=False`` skips
+    the streaming pass entirely and trusts the hint.
     """
+    if static_hint is not None and not validate_hint:
+        return static_hint
+    exact, written = _classify_exact(program, line_size)
+    if static_hint is not None:
+        validate_static_hint(exact, written, static_hint)
+        return static_hint
+    return exact
+
+
+def validate_static_hint(
+    exact: LineClassification,
+    written: np.ndarray,
+    hint: LineClassification,
+) -> None:
+    """Enforce the hint's conservative-superset contract per exact line.
+
+    Safe substitutions (hint may move classes *up* the sharing lattice):
+    exact CONTENDED requires hint CONTENDED; exact RO_SHARED allows
+    RO_SHARED or CONTENDED; exact PRIVATE(t) allows PRIVATE(t),
+    CONTENDED, or — only for lines the program never writes —
+    RO_SHARED.  Anything else would let the fast path treat a line more
+    optimistically than the trace warrants, so it raises.
+    """
+    from ..common.errors import StaticSoundnessError
+
+    if len(exact.lines) == 0:
+        return
+    hint_codes = hint.codes_for(exact.lines)
+    ever_written = (
+        np.isin(exact.lines, written)
+        if len(written)
+        else np.zeros(len(exact.lines), dtype=bool)
+    )
+    ok = hint_codes == np.int64(CONTENDED)
+    ok |= (exact.codes == np.int64(RO_SHARED)) & (
+        hint_codes == np.int64(RO_SHARED)
+    )
+    ok |= (exact.codes >= 0) & (hint_codes == exact.codes)
+    ok |= (
+        (exact.codes >= 0)
+        & (hint_codes == np.int64(RO_SHARED))
+        & ~ever_written
+    )
+    bad = np.flatnonzero(~ok)
+    if len(bad):
+        i = int(bad[0])
+        raise StaticSoundnessError(
+            f"static hint understates sharing on {len(bad)} line(s): "
+            f"e.g. line {int(exact.lines[i]):#x} is exactly "
+            f"{int(exact.codes[i])} but hinted {int(hint_codes[i])} "
+            f"(codes >= 0 private, {RO_SHARED} ro-shared, "
+            f"{CONTENDED} contended)"
+        )
+
+
+def _classify_exact(
+    program, line_size: int
+) -> tuple[LineClassification, np.ndarray]:
+    """The streaming exact pass; also returns the ever-written line set
+    (needed by hint validation, which must not bless an RO_SHARED hint
+    over a privately *written* line)."""
     shift = np.uint64(line_size.bit_length() - 1)
     per_thread: list[np.ndarray] = []
     written_parts: list[np.ndarray] = []
@@ -206,9 +287,17 @@ def classify_program(program, line_size: int) -> LineClassification:
         if len(written):
             written_parts.append(written.astype(np.uint64))
 
+    all_written = (
+        np.unique(np.concatenate(written_parts))
+        if written_parts
+        else np.empty(0, dtype=np.uint64)
+    )
     if not any(len(t) for t in per_thread):
-        return LineClassification(
-            np.empty(0, dtype=np.uint64), np.empty(0, dtype=np.int64)
+        return (
+            LineClassification(
+                np.empty(0, dtype=np.uint64), np.empty(0, dtype=np.int64)
+            ),
+            all_written,
         )
 
     cat = np.concatenate(per_thread)
@@ -229,17 +318,17 @@ def classify_program(program, line_size: int) -> LineClassification:
     starts = np.flatnonzero(new_group)
     counts = np.diff(np.append(starts, len(sorted_lines)))
     uniq = sorted_lines[starts]
-    if written_parts:
-        written = np.unique(np.concatenate(written_parts))
-        ever_written = np.isin(uniq, written)
-    else:
-        ever_written = np.zeros(len(uniq), dtype=bool)
+    ever_written = (
+        np.isin(uniq, all_written)
+        if len(all_written)
+        else np.zeros(len(uniq), dtype=bool)
+    )
     codes = np.where(
         counts == 1,
         sorted_tids[starts],
         np.where(ever_written, np.int64(CONTENDED), np.int64(RO_SHARED)),
     ).astype(np.int64)
-    return LineClassification(uniq, codes)
+    return LineClassification(uniq, codes), all_written
 
 
 # --------------------------------------------------------------------------
@@ -291,6 +380,7 @@ class BatchSimulator(Simulator):
         *,
         sanitize: bool | None = None,
         force_residue_lines=(),
+        static_hint: LineClassification | None = None,
     ):
         super().__init__(cfg, program, recorder, sanitize=sanitize)
         self._fast = (
@@ -315,7 +405,9 @@ class BatchSimulator(Simulator):
         self._hit_cost = cfg.nonmem_cycles_per_event + cfg.l1.hit_latency
         self._sanitize_checks: list | None = None
         self.classification = (
-            classify_program(program, cfg.line_size) if self._fast else None
+            classify_program(program, cfg.line_size, static_hint=static_hint)
+            if self._fast
+            else None
         )
         if not self._fast:
             # run() resolves ``self._step`` per pop, so shadowing the

@@ -1,0 +1,2010 @@
+"""Abstract interpreter: capture-DSL source -> access-site IR.
+
+The analyzer never executes the workload.  It interprets the AST with a
+small abstract domain instead:
+
+* **Setup** (everything outside ``session.run``) is interpreted once
+  with concrete parameters, so allocation order — and therefore the
+  mirrored seeded address layout — is exact.
+* **Workers** are interpreted once per concrete thread id, which makes
+  ``tid``-affine slice bounds, ``if tid == 0:`` blocks and the
+  producer/consumer split exact without any relational domain.
+* Everything the interpreter cannot fold collapses to
+  :data:`TOP` / interval values, and every fallback widens: unknown
+  indices become whole-object footprints, unknown callees taint every
+  traced object they receive, unresolvable locks never prove exclusion,
+  and conditional barrier waits poison the phase partitioning
+  (:mod:`repro.statics.phases`).
+
+The output is a :class:`StaticAnalysis`: shared objects with mirrored
+base addresses plus one :class:`~repro.statics.model.AccessSite` per
+(reachable access, thread) with index interval, definite lockset,
+barrier phase and a definiteness flag.  ``report.py`` turns that into
+pair verdicts and line classes.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional, Sequence
+
+from ..common.errors import StaticAnalysisError
+from ..common.rng import make_rng
+from ..synth.base import scaled
+from .intervals import Interval
+from .lockset import HeldEntry, LockState
+from .model import AccessSite, SharedObject, StaticLayout
+from .phases import PhaseTracker
+
+#: concrete loops up to this trip count are fully unrolled
+UNROLL_LIMIT = 32
+
+#: runaway guard — a workload that legitimately needs more access sites
+#: than this is outside the DSL shapes the analyzer targets
+MAX_SITES = 50_000
+
+_RECURSION_LIMIT = 16
+
+#: base of the captured address space (mirrors capture.session)
+BASE_ADDRESS = 0x10000
+
+
+class _TopType:
+    """The abstract "unknown value"; a singleton."""
+
+    _instance: Optional["_TopType"] = None
+
+    def __new__(cls) -> "_TopType":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "TOP"
+
+
+TOP = _TopType()
+
+
+class _PathBreak(Exception):
+    """Control leaves the current path: return / raise / break / continue."""
+
+    def __init__(self, kind: str):
+        super().__init__(kind)
+        self.kind = kind  # "return" | "raise" | "break" | "continue"
+
+
+# -- abstract reference values -------------------------------------------------
+
+
+@dataclass(eq=False)
+class LockRef:
+    lock_id: int
+    source_line: int
+
+
+@dataclass(eq=False)
+class BarrierRef:
+    barrier_id: int
+    parties: int
+
+
+@dataclass(eq=False)
+class CondRef:
+    lock: LockRef
+
+
+@dataclass(eq=False)
+class ArrayRef:
+    obj: SharedObject
+    session: "SessionVal"
+
+
+@dataclass(eq=False)
+class StructRef:
+    obj: SharedObject
+    session: "SessionVal"
+
+
+@dataclass(frozen=True)
+class RefSet:
+    """One of several possible references (ambiguous subscript)."""
+
+    members: tuple
+
+    @staticmethod
+    def of(values: Sequence[Any]) -> Any:
+        flat: list = []
+        for v in values:
+            if isinstance(v, RefSet):
+                flat.extend(v.members)
+            else:
+                flat.append(v)
+        uniq: list = []
+        for v in flat:
+            if not any(v is u for u in uniq):
+                uniq.append(v)
+        if len(uniq) == 1:
+            return uniq[0]
+        return RefSet(tuple(uniq))
+
+
+@dataclass(eq=False)
+class RngVal:
+    """A ``make_rng`` handle: bounded draws stay intervals."""
+
+
+@dataclass(eq=False)
+class ClassVal:
+    """An imported exception/class we only need to call-and-forget."""
+
+    name: str
+
+
+@dataclass(eq=False)
+class FuncVal:
+    node: Any  # ast.FunctionDef | ast.Lambda
+    env: "Env"
+    defaults: dict[str, Any]
+    name: str
+
+
+@dataclass(eq=False)
+class RangeVal:
+    lo: Interval
+    hi: Interval
+    step: int
+    concrete: Optional[range]
+
+
+@dataclass(eq=False)
+class Method:
+    owner: Any
+    name: str
+
+
+class Builtin:
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+
+@dataclass(eq=False)
+class SessionVal:
+    """Mirror of a ``CaptureSession``: same allocator, no execution."""
+
+    num_threads: int
+    seed: int
+    name: str
+    line_size: int
+    rng: Any
+    next_addr: int = BASE_ADDRESS
+    next_lock_id: int = 0
+    next_barrier_id: int = 0
+    frozen: bool = False  # run() reached: later allocs break the layout
+    ran: bool = False
+
+    def alloc(self, nbytes: int) -> int:
+        padding = int(self.rng.integers(0, 4)) * self.line_size
+        base = self.next_addr + padding
+        lines = -(-nbytes // self.line_size)
+        self.next_addr = base + lines * self.line_size
+        return base
+
+
+class Env:
+    """A lexical frame; chains to the defining scope."""
+
+    __slots__ = ("vars", "parent")
+
+    def __init__(self, parent: Optional["Env"] = None):
+        self.vars: dict[str, Any] = {}
+        self.parent = parent
+
+    def lookup(self, name: str) -> Any:
+        env: Optional[Env] = self
+        while env is not None:
+            if name in env.vars:
+                return env.vars[name]
+            env = env.parent
+        raise KeyError(name)
+
+    def assign(self, name: str, value: Any) -> None:
+        self.vars[name] = value
+
+
+@dataclass
+class StaticAnalysis:
+    """Everything the interpreter learned about one workload."""
+
+    num_threads: int
+    seed: int
+    scale: float
+    target: str = ""
+    objects: list[SharedObject] = field(default_factory=list)
+    sites: list[AccessSite] = field(default_factory=list)
+    layout: StaticLayout = field(default_factory=StaticLayout)
+    notes: list[str] = field(default_factory=list)
+    sessions: list[SessionVal] = field(default_factory=list)
+    phases: PhaseTracker = field(default_factory=lambda: PhaseTracker(0))
+    line_size: int = 64
+
+    def note(self, message: str) -> None:
+        if message not in self.notes:
+            self.notes.append(message)
+
+    def object_by_id(self, oid: int) -> SharedObject:
+        return self.objects[oid]
+
+
+def _to_interval(value: Any) -> Interval:
+    if isinstance(value, bool):
+        return Interval.point(int(value))
+    if isinstance(value, int):
+        return Interval.point(value)
+    if isinstance(value, Interval):
+        return value
+    return Interval.top()
+
+
+def _concrete_int(value: Any) -> Optional[int]:
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, int):
+        return value
+    if isinstance(value, Interval) and value.is_point:
+        return value.lo
+    return None
+
+
+def _is_ref(value: Any) -> bool:
+    return isinstance(value, (ArrayRef, StructRef, LockRef, BarrierRef, CondRef))
+
+
+def _collect_refs(value: Any, out: list) -> None:
+    if _is_ref(value):
+        out.append(value)
+    elif isinstance(value, RefSet):
+        for m in value.members:
+            _collect_refs(m, out)
+    elif isinstance(value, (list, tuple)):
+        for item in value:
+            _collect_refs(item, out)
+    elif isinstance(value, dict):
+        for item in value.values():
+            _collect_refs(item, out)
+
+
+_BUILTIN_NAMES = (
+    "range",
+    "len",
+    "enumerate",
+    "zip",
+    "min",
+    "max",
+    "abs",
+    "int",
+    "float",
+    "bool",
+    "str",
+    "sum",
+    "sorted",
+    "list",
+    "tuple",
+    "dict",
+    "set",
+    "print",
+    "repr",
+    "isinstance",
+    "scaled",
+    "make_rng",
+)
+
+#: imported names the interpreter models precisely (matched by leaf name)
+_KNOWN_IMPORTS = {
+    "CaptureSession": "capture-session-class",
+    "scaled": "scaled",
+    "make_rng": "make_rng",
+}
+
+
+class Interp:
+    """One analysis run.  Not reentrant; cheap to construct."""
+
+    def __init__(self, analysis: StaticAnalysis):
+        self.analysis = analysis
+        self.tid: Optional[int] = None
+        self.phase = Interval.point(0)
+        self.locks = LockState()
+        self._indef_depth = 0
+        self._call_depth = 0
+        self._returns_stack: list[list] = []
+        self._site_keys: set = set()
+        self._builtins = Env()
+        for name in _BUILTIN_NAMES:
+            self._builtins.assign(name, Builtin(name))
+        self._builtins.assign("__name__", "<static-analysis>")
+
+    # -- bookkeeping -------------------------------------------------------
+
+    @property
+    def definite(self) -> bool:
+        return self._indef_depth == 0
+
+    def note(self, message: str) -> None:
+        self.analysis.note(message)
+
+    def taint(self, value: Any, why: str) -> None:
+        refs: list = []
+        _collect_refs(value, refs)
+        for ref in refs:
+            if isinstance(ref, (ArrayRef, StructRef)) and not ref.obj.tainted:
+                ref.obj.tainted = True
+                self.note(f"{ref.obj.name or 'object'}: {why}")
+
+    def taint_all(self, why: str) -> None:
+        for obj in self.analysis.objects:
+            obj.tainted = True
+        self.note(why)
+
+    def record_site(
+        self, obj: SharedObject, is_write: bool, index: Any, line: int
+    ) -> None:
+        if self.tid is None:
+            self.note(
+                f"traced access to {obj.name or 'object'} outside session.run "
+                f"(line {line}) ignored"
+            )
+            return
+        iv = _to_interval(index)
+        if iv.lo is not None and iv.lo < 0:
+            if iv.hi is not None and iv.hi < 0:
+                iv = Interval(iv.lo + obj.length, iv.hi + obj.length)
+            else:
+                iv = Interval.top()
+        iv = iv.clip(0, obj.length - 1)
+        site = AccessSite(
+            oid=obj.oid,
+            tid=self.tid,
+            is_write=is_write,
+            index=iv,
+            locks=self.locks.definite_ids(),
+            phase=self.phase,
+            definite=self.definite,
+            source_line=line,
+            ambiguous_lock=any(not e.definite for e in self.locks.held),
+        )
+        if site not in self._site_keys:
+            self._site_keys.add(site)
+            self.analysis.sites.append(site)
+            if len(self.analysis.sites) > MAX_SITES:
+                raise StaticAnalysisError(
+                    f"static analysis exceeded {MAX_SITES} access sites"
+                )
+
+    # -- module / function entry ------------------------------------------
+
+    def exec_module(self, tree: ast.Module) -> Env:
+        env = Env(parent=self._builtins)
+        try:
+            self.exec_stmts(tree.body, env)
+        except _PathBreak as pb:
+            self.note(f"module body ends early ({pb.kind})")
+        return env
+
+    def call_function(self, func: FuncVal, args: list, kwargs: dict) -> Any:
+        if self._call_depth >= _RECURSION_LIMIT:
+            self.taint_all(
+                f"call depth limit at {func.name}: remaining accesses unknown"
+            )
+            return TOP
+        frame = Env(parent=func.env)
+        self._bind_params(func, args, kwargs, frame)
+        returns: list = []
+        self._returns_stack.append(returns)
+        self._call_depth += 1
+        try:
+            if isinstance(func.node, ast.Lambda):
+                returns.append(self.eval(func.node.body, frame))
+            else:
+                self.exec_stmts(func.node.body, frame)
+        except _PathBreak as pb:
+            if pb.kind == "raise":
+                raise
+        finally:
+            self._call_depth -= 1
+            self._returns_stack.pop()
+        if not returns:
+            return None
+        result = returns[0]
+        for value in returns[1:]:
+            result = self.join_values(result, value)
+        return result
+
+    def _bind_params(
+        self, func: FuncVal, args: list, kwargs: dict, frame: Env
+    ) -> None:
+        a = func.node.args
+        names = [p.arg for p in a.posonlyargs + a.args]
+        for i, name in enumerate(names):
+            if i < len(args):
+                frame.assign(name, args[i])
+            elif name in kwargs:
+                frame.assign(name, kwargs.pop(name))
+            elif name in func.defaults:
+                frame.assign(name, func.defaults[name])
+            else:
+                frame.assign(name, TOP)
+        if len(args) > len(names):
+            if a.vararg is not None:
+                frame.assign(a.vararg.arg, list(args[len(names) :]))
+            else:
+                self.note(f"{func.name}: extra positional arguments dropped")
+        for p in a.kwonlyargs:
+            if p.arg in kwargs:
+                frame.assign(p.arg, kwargs.pop(p.arg))
+            elif p.arg in func.defaults:
+                frame.assign(p.arg, func.defaults[p.arg])
+            else:
+                frame.assign(p.arg, TOP)
+        if a.kwarg is not None:
+            frame.assign(a.kwarg.arg, dict(kwargs))
+        elif kwargs:
+            self.note(f"{func.name}: unexpected keyword arguments dropped")
+
+    # -- statements --------------------------------------------------------
+
+    def exec_stmts(self, stmts: Sequence[ast.stmt], env: Env) -> bool:
+        """Run a statement list; True when a conditional path-end means
+        every *following* statement is only maybe-reached."""
+        bumped = 0
+        maybe_ended = False
+        try:
+            for stmt in stmts:
+                ended = self.exec_stmt(stmt, env)
+                if ended and not maybe_ended:
+                    maybe_ended = True
+                    self._indef_depth += 1
+                    bumped = 1
+        finally:
+            self._indef_depth -= bumped
+        return maybe_ended
+
+    def exec_stmt(self, node: ast.stmt, env: Env) -> bool:
+        method = getattr(self, f"_stmt_{type(node).__name__}", None)
+        if method is None:
+            self.note(f"unsupported statement {type(node).__name__} ignored")
+            return False
+        return bool(method(node, env))
+
+    def _stmt_Expr(self, node: ast.Expr, env: Env) -> bool:
+        self.eval(node.value, env)
+        return False
+
+    def _stmt_Pass(self, node: ast.Pass, env: Env) -> bool:
+        return False
+
+    def _stmt_Assert(self, node: ast.Assert, env: Env) -> bool:
+        self.eval(node.test, env)
+        return False
+
+    def _stmt_Import(self, node: ast.Import, env: Env) -> bool:
+        for alias in node.names:
+            env.assign(alias.asname or alias.name.split(".")[0], TOP)
+        return False
+
+    def _stmt_ImportFrom(self, node: ast.ImportFrom, env: Env) -> bool:
+        for alias in node.names:
+            bound = alias.asname or alias.name
+            kind = _KNOWN_IMPORTS.get(alias.name)
+            if kind == "capture-session-class":
+                env.assign(bound, Builtin("CaptureSession"))
+            elif kind is not None:
+                env.assign(bound, Builtin(kind))
+            elif alias.name.endswith("Error"):
+                env.assign(bound, ClassVal(alias.name))
+            else:
+                env.assign(bound, TOP)
+        return False
+
+    def _stmt_FunctionDef(self, node: ast.FunctionDef, env: Env) -> bool:
+        env.assign(node.name, self._make_func(node, env, node.name))
+        return False
+
+    def _make_func(self, node: Any, env: Env, name: str) -> FuncVal:
+        a = node.args
+        defaults: dict[str, Any] = {}
+        pos = a.posonlyargs + a.args
+        for p, d in zip(pos[len(pos) - len(a.defaults) :], a.defaults):
+            defaults[p.arg] = self.eval(d, env)
+        for p, d in zip(a.kwonlyargs, a.kw_defaults):
+            if d is not None:
+                defaults[p.arg] = self.eval(d, env)
+        return FuncVal(node, env, defaults, name)
+
+    def _stmt_Return(self, node: ast.Return, env: Env) -> bool:
+        value = self.eval(node.value, env) if node.value is not None else None
+        if self._returns_stack:
+            self._returns_stack[-1].append(value)
+        raise _PathBreak("return")
+
+    def _stmt_Raise(self, node: ast.Raise, env: Env) -> bool:
+        if node.exc is not None:
+            self.eval(node.exc, env)
+        raise _PathBreak("raise")
+
+    def _stmt_Break(self, node: ast.Break, env: Env) -> bool:
+        raise _PathBreak("break")
+
+    def _stmt_Continue(self, node: ast.Continue, env: Env) -> bool:
+        raise _PathBreak("continue")
+
+    def _stmt_Assign(self, node: ast.Assign, env: Env) -> bool:
+        value = self.eval(node.value, env)
+        for target in node.targets:
+            self.assign_target(target, value, env)
+        return False
+
+    def _stmt_AnnAssign(self, node: ast.AnnAssign, env: Env) -> bool:
+        if node.value is not None:
+            self.assign_target(node.target, self.eval(node.value, env), env)
+        return False
+
+    def _stmt_AugAssign(self, node: ast.AugAssign, env: Env) -> bool:
+        delta = self.eval(node.value, env)
+        target = node.target
+        if isinstance(target, ast.Name):
+            try:
+                old = env.lookup(target.id)
+            except KeyError:
+                old = TOP
+            env.assign(target.id, self.binop(type(node.op).__name__, old, delta))
+        elif isinstance(target, ast.Subscript):
+            owner = self.eval(target.value, env)
+            index = self.eval(target.slice, env)
+            old = self.read_subscript(owner, index, node.lineno)
+            self.write_subscript(
+                owner,
+                index,
+                self.binop(type(node.op).__name__, old, delta),
+                node.lineno,
+            )
+        elif isinstance(target, ast.Attribute):
+            owner = self.eval(target.value, env)
+            old = self.read_attribute(owner, target.attr, node.lineno)
+            self.write_attribute(
+                owner,
+                target.attr,
+                self.binop(type(node.op).__name__, old, delta),
+                node.lineno,
+            )
+        else:
+            self.note("unsupported augmented-assignment target")
+        return False
+
+    def assign_target(self, target: ast.expr, value: Any, env: Env) -> None:
+        if isinstance(target, ast.Name):
+            env.assign(target.id, value)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            elts = target.elts
+            if isinstance(value, (list, tuple)) and len(value) == len(elts):
+                for t, v in zip(elts, value):
+                    self.assign_target(t, v, env)
+            else:
+                for t in elts:
+                    self.assign_target(t, TOP, env)
+        elif isinstance(target, ast.Subscript):
+            owner = self.eval(target.value, env)
+            index = self.eval(target.slice, env)
+            self.write_subscript(owner, index, value, target.lineno)
+        elif isinstance(target, ast.Attribute):
+            owner = self.eval(target.value, env)
+            self.write_attribute(owner, target.attr, value, target.lineno)
+        elif isinstance(target, ast.Starred):
+            self.assign_target(target.value, TOP, env)
+        else:
+            self.note("unsupported assignment target")
+
+    def _stmt_If(self, node: ast.If, env: Env) -> bool:
+        truth = self.truth(self.eval(node.test, env))
+        if truth is True:
+            return self.exec_stmts(node.body, env)
+        if truth is False:
+            return self.exec_stmts(node.orelse, env)
+        return self.join_branches([node.body, node.orelse], env)
+
+    def _stmt_While(self, node: ast.While, env: Env) -> bool:
+        truth = self.truth(self.eval(node.test, env))
+        if truth is False:
+            return self.exec_stmts(node.orelse, env)
+        maybe_ended = self._abstract_loop_body(node.body, env, assigned_extra=())
+        if node.orelse:
+            maybe_ended = self.exec_stmts(node.orelse, env) or maybe_ended
+        return maybe_ended
+
+    def _stmt_For(self, node: ast.For, env: Env) -> bool:
+        iterable = self.eval(node.iter, env)
+        elements = self._unrollable(iterable)
+        if elements is not None:
+            return self._unrolled_loop(node, elements, env)
+        loopvar = self._abstract_loop_var(iterable)
+        self.assign_target(node.target, loopvar, env)
+        definite_body = (
+            isinstance(iterable, RangeVal)
+            and iterable.concrete is not None
+            and len(iterable.concrete) > 0
+            and not self._body_escapes(node.body)
+        )
+        maybe_ended = self._abstract_loop_body(
+            node.body, env, assigned_extra=(), definite=definite_body
+        )
+        if node.orelse:
+            maybe_ended = self.exec_stmts(node.orelse, env) or maybe_ended
+        return maybe_ended
+
+    def _unrollable(self, iterable: Any) -> Optional[list]:
+        if isinstance(iterable, RangeVal) and iterable.concrete is not None:
+            if len(iterable.concrete) <= UNROLL_LIMIT:
+                return list(iterable.concrete)
+            return None
+        if isinstance(iterable, (list, tuple)) and len(iterable) <= UNROLL_LIMIT:
+            return list(iterable)
+        if isinstance(iterable, dict) and len(iterable) <= UNROLL_LIMIT:
+            return list(iterable.keys())
+        return None
+
+    def _abstract_loop_var(self, iterable: Any) -> Any:
+        if isinstance(iterable, RangeVal):
+            if iterable.step < 0:
+                return iterable.lo.hull(iterable.hi)
+            hi = iterable.hi
+            upper = None if hi.hi is None else hi.hi - 1
+            lo = iterable.lo.lo
+            if lo is not None and upper is not None and upper < lo:
+                upper = lo
+            return Interval(lo, upper)
+        if isinstance(iterable, (list, tuple)) and iterable:
+            joined = iterable[0]
+            for item in iterable[1:]:
+                joined = self.join_values(joined, item)
+            return joined
+        return TOP
+
+    def _body_escapes(self, body: Sequence[ast.stmt]) -> bool:
+        """Does the loop body contain a break/return that could skip
+        trailing iterations?  (Nested loops own their breaks; nested
+        function defs own their returns.)"""
+
+        def walk(stmts: Sequence[ast.stmt], top: bool) -> bool:
+            for stmt in stmts:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if isinstance(stmt, ast.Return):
+                    return True
+                if top and isinstance(stmt, ast.Break):
+                    return True
+                inner_top = top and not isinstance(stmt, (ast.For, ast.While))
+                for field_name in ("body", "orelse", "finalbody", "handlers"):
+                    sub = getattr(stmt, field_name, None)
+                    if not sub:
+                        continue
+                    if field_name == "handlers":
+                        for handler in sub:
+                            if walk(handler.body, inner_top):
+                                return True
+                    elif walk(sub, inner_top):
+                        return True
+            return False
+
+        return walk(body, True)
+
+    def _unrolled_loop(self, node: ast.For, elements: list, env: Env) -> bool:
+        maybe_ended = False
+        degraded = 0
+        try:
+            for element in elements:
+                self.assign_target(node.target, element, env)
+                try:
+                    ended = self.exec_stmts(node.body, env)
+                except _PathBreak as pb:
+                    if pb.kind == "break":
+                        break
+                    if pb.kind == "continue":
+                        continue
+                    raise
+                if ended and not degraded:
+                    # a conditional break/return inside: trailing
+                    # iterations are only maybe-executed
+                    self._indef_depth += 1
+                    degraded = 1
+                    maybe_ended = True
+        finally:
+            self._indef_depth -= degraded
+        if node.orelse:
+            maybe_ended = self.exec_stmts(node.orelse, env) or maybe_ended
+        return maybe_ended
+
+    def _abstract_loop_body(
+        self,
+        body: Sequence[ast.stmt],
+        env: Env,
+        assigned_extra: tuple,
+        definite: bool = False,
+    ) -> bool:
+        assigned = self._assigned_names(body)
+        assigned.update(assigned_extra)
+        saved = {}
+        for name in assigned:
+            try:
+                saved[name] = env.lookup(name)
+            except KeyError:
+                saved[name] = TOP
+            env.assign(name, TOP)
+        lock_snap = self.locks.snapshot()
+        bumped = 0
+        if not definite:
+            self._indef_depth += 1
+            bumped = 1
+        maybe_ended = False
+        try:
+            maybe_ended = self.exec_stmts(body, env)
+        except _PathBreak as pb:
+            if pb.kind not in ("break", "continue"):
+                if pb.kind == "raise":
+                    self._indef_depth -= bumped
+                    self.locks.restore(lock_snap)
+                    raise
+                maybe_ended = True
+        finally:
+            if bumped:
+                self._indef_depth -= bumped
+        self.locks.restore(lock_snap)
+        for name in assigned:
+            try:
+                current = env.lookup(name)
+            except KeyError:
+                current = TOP
+            env.assign(name, self.join_values(saved[name], current))
+        return maybe_ended
+
+    def _assigned_names(self, body: Sequence[ast.stmt]) -> set:
+        names: set = set()
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if isinstance(node, ast.Assign):
+                    for t in node.targets:
+                        self._target_names(t, names)
+                elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                    self._target_names(node.target, names)
+                elif isinstance(node, ast.For):
+                    self._target_names(node.target, names)
+                elif isinstance(node, ast.NamedExpr):
+                    self._target_names(node.target, names)
+                elif isinstance(node, ast.withitem) and node.optional_vars:
+                    self._target_names(node.optional_vars, names)
+        return names
+
+    def _target_names(self, target: ast.expr, names: set) -> None:
+        if isinstance(target, ast.Name):
+            names.add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._target_names(elt, names)
+        elif isinstance(target, ast.Starred):
+            self._target_names(target.value, names)
+
+    def join_branches(self, branches: list, env: Env) -> bool:
+        """Interpret alternative statement lists and join their effects."""
+        base_vars = dict(env.vars)
+        lock_snap = self.locks.snapshot()
+        outcomes: list[tuple[Optional[dict], Optional[str], list]] = []
+        self._indef_depth += 1
+        try:
+            for body in branches:
+                env.vars.clear()
+                env.vars.update(base_vars)
+                self.locks.restore(lock_snap)
+                died: Optional[str] = None
+                try:
+                    self.exec_stmts(body, env)
+                except _PathBreak as pb:
+                    died = pb.kind
+                outcomes.append(
+                    (None if died else dict(env.vars), died, self.locks.snapshot())
+                )
+        finally:
+            self._indef_depth -= 1
+        live = [(v, locks) for v, died, locks in outcomes if v is not None]
+        if not live:
+            # every branch leaves this path: propagate the first signal
+            env.vars.clear()
+            env.vars.update(base_vars)
+            self.locks.restore(lock_snap)
+            raise _PathBreak(outcomes[0][1] or "raise")
+        # locks: keep only entries held on *every* surviving path
+        kept = [
+            e
+            for e in lock_snap
+            if all(any(e is h for h in locks) for _, locks in live)
+        ]
+        self.locks.restore(kept)
+        env.vars.clear()
+        first_vars = live[0][0]
+        assert first_vars is not None
+        merged = dict(first_vars)
+        for branch_vars, _locks in live[1:]:
+            assert branch_vars is not None
+            for name in set(merged) | set(branch_vars):
+                if name in merged and name in branch_vars:
+                    merged[name] = self.join_values(
+                        merged[name], branch_vars[name]
+                    )
+                else:
+                    merged[name] = TOP
+        env.vars.update(merged)
+        # any dead branch — return, raise, *or* break/continue — means the
+        # statements after this point run only on the surviving paths; a
+        # maybe-break must also degrade trailing loop iterations, or a
+        # barrier wait after it would be miscounted as definite
+        return any(died for _, died, _ in outcomes)
+
+    def _stmt_With(self, node: ast.With, env: Env) -> bool:
+        entries: list[HeldEntry] = []
+        for item in node.items:
+            ctx = self.eval(item.context_expr, env)
+            entry = self._lock_entry(ctx)
+            if entry is not None:
+                self.locks.push(entry)
+                entries.append(entry)
+            elif ctx is not TOP and not isinstance(ctx, (ArrayRef, StructRef)):
+                pass  # non-lock context manager: nothing to track
+            else:
+                self.note(
+                    f"with-statement at line {node.lineno}: lock identity "
+                    "unknown, exclusion not provable"
+                )
+            if item.optional_vars is not None:
+                self.assign_target(item.optional_vars, ctx, env)
+        try:
+            return self.exec_stmts(node.body, env)
+        finally:
+            for entry in reversed(entries):
+                self.locks.pop(entry)
+
+    def _lock_entry(self, ctx: Any) -> Optional[HeldEntry]:
+        if isinstance(ctx, LockRef):
+            return HeldEntry.single(ctx.lock_id)
+        if isinstance(ctx, CondRef):
+            return HeldEntry.single(ctx.lock.lock_id)
+        if isinstance(ctx, RefSet) and all(
+            isinstance(m, LockRef) for m in ctx.members
+        ):
+            return HeldEntry.ambiguous(m.lock_id for m in ctx.members)
+        return None
+
+    def _stmt_Try(self, node: ast.Try, env: Env) -> bool:
+        branches = [node.body]
+        for handler in node.handlers:
+            branches.append(handler.body)
+        maybe_ended = self.join_branches(branches, env)
+        if node.finalbody:
+            maybe_ended = self.exec_stmts(node.finalbody, env) or maybe_ended
+        return maybe_ended
+
+    def _stmt_Global(self, node: ast.Global, env: Env) -> bool:
+        self.note("global declaration approximated as local")
+        return False
+
+    def _stmt_Nonlocal(self, node: ast.Nonlocal, env: Env) -> bool:
+        self.note("nonlocal declaration approximated as local")
+        return False
+
+    def _stmt_Delete(self, node: ast.Delete, env: Env) -> bool:
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                env.assign(target.id, TOP)
+        return False
+
+    # -- values: join, truthiness, arithmetic ------------------------------
+
+    def join_values(self, a: Any, b: Any) -> Any:
+        if a is b:
+            return a
+        if isinstance(a, (int, str, float, bool, type(None))) and type(a) is type(
+            b
+        ):
+            if a == b:
+                return a
+        num_a = isinstance(a, (int, bool, Interval)) and not isinstance(a, float)
+        num_b = isinstance(b, (int, bool, Interval)) and not isinstance(b, float)
+        if num_a and num_b:
+            return _norm(_to_interval(a).hull(_to_interval(b)))
+        if (_is_ref(a) or isinstance(a, RefSet)) and (
+            _is_ref(b) or isinstance(b, RefSet)
+        ):
+            return RefSet.of([a, b])
+        if isinstance(a, list) and isinstance(b, list) and len(a) == len(b):
+            return [self.join_values(x, y) for x, y in zip(a, b)]
+        if isinstance(a, tuple) and isinstance(b, tuple) and len(a) == len(b):
+            return tuple(self.join_values(x, y) for x, y in zip(a, b))
+        return TOP
+
+    def truth(self, value: Any) -> Optional[bool]:
+        if value is TOP:
+            return None
+        if isinstance(value, Interval):
+            if value.is_point:
+                return bool(value.lo)
+            if not value.contains(0):
+                return True
+            return None
+        if isinstance(value, (RefSet, RngVal, SessionVal, FuncVal)):
+            return True
+        if _is_ref(value):
+            return True
+        try:
+            return bool(value)
+        except Exception:
+            return None
+
+    def binop(self, op: str, left: Any, right: Any) -> Any:
+        concrete_ok = isinstance(
+            left, (int, float, bool, str, list, tuple)
+        ) and isinstance(right, (int, float, bool, str, list, tuple))
+        if concrete_ok:
+            try:
+                return _PY_BINOPS[op](left, right)
+            except Exception:
+                return TOP
+        num_l = isinstance(left, (int, bool, Interval)) and not isinstance(
+            left, float
+        )
+        num_r = isinstance(right, (int, bool, Interval)) and not isinstance(
+            right, float
+        )
+        if num_l and num_r and op in _IV_BINOPS:
+            return _norm(_IV_BINOPS[op](_to_interval(left), _to_interval(right)))
+        return TOP
+
+    # -- expressions -------------------------------------------------------
+
+    def eval(self, node: ast.expr, env: Env) -> Any:
+        method = getattr(self, f"_eval_{type(node).__name__}", None)
+        if method is None:
+            self.note(f"unsupported expression {type(node).__name__}")
+            return TOP
+        return method(node, env)
+
+    def _eval_Constant(self, node: ast.Constant, env: Env) -> Any:
+        return node.value
+
+    def _eval_Name(self, node: ast.Name, env: Env) -> Any:
+        try:
+            return env.lookup(node.id)
+        except KeyError:
+            self.note(f"unbound name {node.id!r}")
+            return TOP
+
+    def _eval_NamedExpr(self, node: ast.NamedExpr, env: Env) -> Any:
+        value = self.eval(node.value, env)
+        self.assign_target(node.target, value, env)
+        return value
+
+    def _eval_Tuple(self, node: ast.Tuple, env: Env) -> Any:
+        return tuple(self.eval(e, env) for e in node.elts)
+
+    def _eval_List(self, node: ast.List, env: Env) -> Any:
+        return [self.eval(e, env) for e in node.elts]
+
+    def _eval_Set(self, node: ast.Set, env: Env) -> Any:
+        for e in node.elts:
+            self.eval(e, env)
+        return TOP
+
+    def _eval_Dict(self, node: ast.Dict, env: Env) -> Any:
+        out: dict = {}
+        for k, v in zip(node.keys, node.values):
+            if k is None:
+                self.eval(v, env)
+                continue
+            key = self.eval(k, env)
+            value = self.eval(v, env)
+            if isinstance(key, (int, str, bool, type(None))):
+                out[key] = value
+        return out
+
+    def _eval_JoinedStr(self, node: ast.JoinedStr, env: Env) -> Any:
+        parts: list = []
+        concrete = True
+        for value in node.values:
+            if isinstance(value, ast.Constant):
+                parts.append(str(value.value))
+                continue
+            if isinstance(value, ast.FormattedValue):
+                inner = self.eval(value.value, env)
+                # only a plain {x} over a concrete scalar renders exactly
+                if (
+                    value.conversion == -1
+                    and value.format_spec is None
+                    and isinstance(inner, (str, int, float, bool))
+                ):
+                    parts.append(str(inner))
+                else:
+                    concrete = False
+                continue
+            concrete = False
+        return "".join(parts) if concrete else TOP
+
+    def _eval_FormattedValue(self, node: ast.FormattedValue, env: Env) -> Any:
+        self.eval(node.value, env)
+        return TOP
+
+    def _eval_Lambda(self, node: ast.Lambda, env: Env) -> Any:
+        return self._make_func(node, env, "<lambda>")
+
+    def _eval_UnaryOp(self, node: ast.UnaryOp, env: Env) -> Any:
+        value = self.eval(node.operand, env)
+        if isinstance(node.op, ast.Not):
+            truth = self.truth(value)
+            return TOP if truth is None else (not truth)
+        if isinstance(node.op, ast.USub):
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                return -value
+            if isinstance(value, (Interval, bool, int)):
+                return _norm(-_to_interval(value))
+            return TOP
+        if isinstance(node.op, ast.UAdd):
+            return value
+        return TOP
+
+    def _eval_BinOp(self, node: ast.BinOp, env: Env) -> Any:
+        left = self.eval(node.left, env)
+        right = self.eval(node.right, env)
+        return self.binop(type(node.op).__name__, left, right)
+
+    def _eval_BoolOp(self, node: ast.BoolOp, env: Env) -> Any:
+        is_and = isinstance(node.op, ast.And)
+        result: Optional[bool] = is_and
+        for value_node in node.values:
+            truth = self.truth(self.eval(value_node, env))
+            if truth is None:
+                result = None
+            elif is_and and truth is False:
+                return False
+            elif not is_and and truth is True:
+                return True
+        if result is None:
+            return TOP
+        return bool(result) if not is_and else True
+
+    def _eval_Compare(self, node: ast.Compare, env: Env) -> Any:
+        left = self.eval(node.left, env)
+        verdict: Optional[bool] = True
+        for op, comparator in zip(node.ops, node.comparators):
+            right = self.eval(comparator, env)
+            one = self._compare_one(type(op).__name__, left, right)
+            if one is False:
+                return False
+            if one is None:
+                verdict = None
+            left = right
+        return TOP if verdict is None else True
+
+    def _compare_one(self, op: str, left: Any, right: Any) -> Optional[bool]:
+        if op in ("Is", "IsNot"):
+            if left is TOP or right is TOP:
+                return None
+            same = left is right or (
+                isinstance(left, (int, str, bool, type(None)))
+                and type(left) is type(right)
+                and left == right
+            )
+            if left is None or right is None:
+                none_side = right if left is not None else left
+                other = left if left is not None else right
+                if other is None:
+                    same = True
+                elif isinstance(other, (Interval, RngVal, SessionVal)):
+                    same = False
+                elif _is_ref(other) or isinstance(other, RefSet):
+                    same = False
+                else:
+                    same = other is none_side
+            return same if op == "Is" else not same
+        concrete = isinstance(
+            left, (int, float, bool, str, type(None))
+        ) and isinstance(right, (int, float, bool, str, type(None)))
+        if concrete:
+            try:
+                return bool(_PY_CMPOPS[op](left, right))
+            except Exception:
+                return None
+        num_l = isinstance(left, (int, bool, Interval)) and not isinstance(
+            left, float
+        )
+        num_r = isinstance(right, (int, bool, Interval)) and not isinstance(
+            right, float
+        )
+        if num_l and num_r:
+            li, ri = _to_interval(left), _to_interval(right)
+            if op == "Lt":
+                return li.cmp_lt(ri)
+            if op == "GtE":
+                lt = li.cmp_lt(ri)
+                return None if lt is None else not lt
+            if op == "Gt":
+                return ri.cmp_lt(li)
+            if op == "LtE":
+                lt = ri.cmp_lt(li)
+                return None if lt is None else not lt
+            if op == "Eq":
+                return li.cmp_eq(ri)
+            if op == "NotEq":
+                eq = li.cmp_eq(ri)
+                return None if eq is None else not eq
+        return None
+
+    def _eval_IfExp(self, node: ast.IfExp, env: Env) -> Any:
+        truth = self.truth(self.eval(node.test, env))
+        if truth is True:
+            return self.eval(node.body, env)
+        if truth is False:
+            return self.eval(node.orelse, env)
+        return self.join_values(
+            self.eval(node.body, env), self.eval(node.orelse, env)
+        )
+
+    def _eval_Subscript(self, node: ast.Subscript, env: Env) -> Any:
+        owner = self.eval(node.value, env)
+        index = self.eval(node.slice, env)
+        return self.read_subscript(owner, index, node.lineno)
+
+    def _eval_Slice(self, node: ast.Slice, env: Env) -> Any:
+        lower = self.eval(node.lower, env) if node.lower else None
+        upper = self.eval(node.upper, env) if node.upper else None
+        step = self.eval(node.step, env) if node.step else None
+        if (
+            isinstance(lower, (int, type(None)))
+            and isinstance(upper, (int, type(None)))
+            and isinstance(step, (int, type(None)))
+        ):
+            return slice(lower, upper, step)
+        return TOP
+
+    def _eval_Attribute(self, node: ast.Attribute, env: Env) -> Any:
+        owner = self.eval(node.value, env)
+        return self.read_attribute(owner, node.attr, node.lineno)
+
+    def _eval_Call(self, node: ast.Call, env: Env) -> Any:
+        callee = self.eval(node.func, env)
+        args: list = []
+        for arg in node.args:
+            if isinstance(arg, ast.Starred):
+                value = self.eval(arg.value, env)
+                if isinstance(value, (list, tuple)):
+                    args.extend(value)
+                else:
+                    self.note("starred argument of unknown length")
+            else:
+                args.append(self.eval(arg, env))
+        kwargs: dict = {}
+        for kw in node.keywords:
+            value = self.eval(kw.value, env)
+            if kw.arg is None:
+                if isinstance(value, dict):
+                    kwargs.update(
+                        {k: v for k, v in value.items() if isinstance(k, str)}
+                    )
+                else:
+                    self.note("**kwargs of unknown contents dropped")
+            else:
+                kwargs[kw.arg] = value
+        return self.call_value(callee, args, kwargs, node.lineno)
+
+    def _eval_ListComp(self, node: ast.ListComp, env: Env) -> Any:
+        return self._comprehension(node, env, collect=True)
+
+    def _eval_SetComp(self, node: ast.SetComp, env: Env) -> Any:
+        self._comprehension(node, env, collect=False)
+        return TOP
+
+    def _eval_GeneratorExp(self, node: ast.GeneratorExp, env: Env) -> Any:
+        return self._comprehension(node, env, collect=True)
+
+    def _eval_DictComp(self, node: ast.DictComp, env: Env) -> Any:
+        self._comprehension(node, env, collect=False)
+        return TOP
+
+    def _comprehension(self, node: Any, env: Env, collect: bool) -> Any:
+        gen = node.generators[0]
+        scope = Env(parent=env)
+        iterable = self.eval(gen.iter, scope)
+        elements = self._unrollable(iterable)
+        single = len(node.generators) == 1
+        if elements is None or not single:
+            self._indef_depth += 1
+            try:
+                self.assign_target(
+                    gen.target, self._abstract_loop_var(iterable), scope
+                )
+                for cond in gen.ifs:
+                    self.eval(cond, scope)
+                if isinstance(node, ast.DictComp):
+                    self.eval(node.key, scope)
+                    self.eval(node.value, scope)
+                else:
+                    self.eval(node.elt, scope)
+            finally:
+                self._indef_depth -= 1
+            return TOP
+        out: list = []
+        for element in elements:
+            self.assign_target(gen.target, element, scope)
+            keep: Optional[bool] = True
+            for cond in gen.ifs:
+                truth = self.truth(self.eval(cond, scope))
+                if truth is False:
+                    keep = False
+                    break
+                if truth is None:
+                    keep = None
+            if keep is False:
+                continue
+            if isinstance(node, ast.DictComp):
+                self.eval(node.key, scope)
+                self.eval(node.value, scope)
+                continue
+            value = self.eval(node.elt, scope)
+            if keep is None:
+                return TOP  # filtered by an unknown predicate
+            out.append(value)
+        return out if collect else TOP
+
+    def _eval_Starred(self, node: ast.Starred, env: Env) -> Any:
+        return self.eval(node.value, env)
+
+    # -- subscripts and attributes ----------------------------------------
+
+    def read_subscript(self, owner: Any, index: Any, line: int) -> Any:
+        if isinstance(owner, ArrayRef):
+            self.record_site(owner.obj, False, index, line)
+            return TOP
+        if isinstance(owner, RefSet):
+            result: Any = None
+            first = True
+            for member in owner.members:
+                value = self.read_subscript(member, index, line)
+                result = value if first else self.join_values(result, value)
+                first = False
+            return result if not first else TOP
+        if isinstance(owner, (list, tuple)):
+            ci = _concrete_int(index)
+            if ci is not None and -len(owner) <= ci < len(owner):
+                return owner[ci]
+            if isinstance(index, slice):
+                try:
+                    return list(owner[index])
+                except Exception:
+                    return TOP
+            iv = _to_interval(index).clip(0, len(owner) - 1) if owner else None
+            if iv is not None and iv.lo is not None and iv.hi is not None:
+                members = [owner[i] for i in range(iv.lo, iv.hi + 1)]
+                if members:
+                    joined = members[0]
+                    for m in members[1:]:
+                        joined = self.join_values(joined, m)
+                    return joined
+            return TOP
+        if isinstance(owner, dict):
+            if isinstance(index, (int, str, bool, type(None))) and index in owner:
+                return owner[index]
+            return TOP
+        if isinstance(owner, str):
+            return TOP
+        if owner is TOP:
+            return TOP
+        self.note(f"subscript of unsupported value at line {line}")
+        return TOP
+
+    def write_subscript(
+        self, owner: Any, index: Any, value: Any, line: int
+    ) -> None:
+        if isinstance(owner, ArrayRef):
+            self.record_site(owner.obj, True, index, line)
+            return
+        if isinstance(owner, RefSet):
+            for member in owner.members:
+                self.write_subscript(member, index, value, line)
+            return
+        if isinstance(owner, list):
+            ci = _concrete_int(index)
+            if ci is not None and -len(owner) <= ci < len(owner):
+                owner[ci] = value
+                return
+            if owner:
+                iv = _to_interval(index).clip(0, len(owner) - 1)
+                lo = 0 if iv.lo is None else iv.lo
+                hi = len(owner) - 1 if iv.hi is None else iv.hi
+                for i in range(lo, hi + 1):
+                    owner[i] = self.join_values(owner[i], value)
+            return
+        if isinstance(owner, dict):
+            if isinstance(index, (int, str, bool, type(None))):
+                owner[index] = value
+            return
+        if owner is TOP:
+            self.taint(value, "stored into an unanalyzable container")
+            return
+        self.note(f"subscript store to unsupported value at line {line}")
+
+    def read_attribute(self, owner: Any, attr: str, line: int) -> Any:
+        if isinstance(owner, StructRef):
+            if attr == "peek":
+                return Method(owner, attr)
+            if owner.obj.fields is not None and attr in owner.obj.fields:
+                self.record_site(
+                    owner.obj,
+                    False,
+                    Interval.point(owner.obj.fields.index(attr)),
+                    line,
+                )
+                return TOP
+            self.note(
+                f"unknown field .{attr} on struct "
+                f"{owner.obj.name or 'anon'} (line {line})"
+            )
+            return TOP
+        if isinstance(owner, ArrayRef):
+            if attr in ("load", "store", "add", "peek"):
+                return Method(owner, attr)
+            if attr == "base":
+                return owner.obj.base if owner.obj.base is not None else TOP
+            if attr == "element_size":
+                return owner.obj.element_size
+            if attr == "name":
+                return owner.obj.name
+            return TOP
+        if isinstance(owner, SessionVal):
+            if attr == "seed":
+                return owner.seed
+            if attr == "num_threads":
+                return owner.num_threads
+            if attr == "line_size":
+                return owner.line_size
+            if attr == "name":
+                return owner.name
+            return Method(owner, attr)
+        if isinstance(owner, (LockRef, BarrierRef, CondRef, RngVal)):
+            return Method(owner, attr)
+        if isinstance(owner, RefSet):
+            if all(isinstance(m, StructRef) for m in owner.members) and all(
+                m.obj.fields is not None and attr in m.obj.fields
+                for m in owner.members
+            ):
+                for member in owner.members:
+                    self.read_attribute(member, attr, line)
+                return TOP
+            return Method(owner, attr)
+        if isinstance(owner, (list, dict, str, tuple)):
+            return Method(owner, attr)
+        if owner is TOP:
+            return TOP
+        if isinstance(owner, ClassVal):
+            return TOP
+        return TOP
+
+    def write_attribute(self, owner: Any, attr: str, value: Any, line: int) -> None:
+        if isinstance(owner, StructRef):
+            if owner.obj.fields is not None and attr in owner.obj.fields:
+                self.record_site(
+                    owner.obj,
+                    True,
+                    Interval.point(owner.obj.fields.index(attr)),
+                    line,
+                )
+                return
+            self.note(
+                f"store to unknown field .{attr} on struct "
+                f"{owner.obj.name or 'anon'} (line {line})"
+            )
+            return
+        if isinstance(owner, RefSet):
+            for member in owner.members:
+                self.write_attribute(member, attr, value, line)
+            return
+        if owner is TOP:
+            self.taint(value, "stored onto an unanalyzable object")
+            return
+        self.note(f"attribute store to unsupported value at line {line}")
+
+    # -- calls -------------------------------------------------------------
+
+    def call_value(self, callee: Any, args: list, kwargs: dict, line: int) -> Any:
+        if isinstance(callee, FuncVal):
+            return self.call_function(callee, args, dict(kwargs))
+        if isinstance(callee, Builtin):
+            return self._call_builtin(callee.name, args, kwargs, line)
+        if isinstance(callee, Method):
+            return self._call_method(callee, args, kwargs, line)
+        if isinstance(callee, ClassVal):
+            return TOP
+        if isinstance(callee, RefSet):
+            result: Any = TOP
+            for member in callee.members:
+                result = self.join_values(
+                    result, self.call_value(member, args, kwargs, line)
+                )
+            return result
+        # unknown callee: every traced object that escapes into it may be
+        # read or written arbitrarily from any thread
+        self.taint(args, f"passed to an unanalyzable call at line {line}")
+        self.taint(list(kwargs.values()), f"passed to an unanalyzable call at line {line}")
+        return TOP
+
+    def _call_builtin(self, name: str, args: list, kwargs: dict, line: int) -> Any:
+        if name == "CaptureSession":
+            return self._make_session(args, kwargs, line)
+        if name == "scaled":
+            folded = [_concrete_py(a) for a in args]
+            kw = {k: _concrete_py(v) for k, v in kwargs.items()}
+            if all(v is not None for v in folded) and all(
+                v is not None for v in kw.values()
+            ):
+                try:
+                    return scaled(*folded, **kw)  # type: ignore[arg-type]
+                except Exception:
+                    return TOP
+            return TOP
+        if name == "make_rng":
+            return RngVal()
+        if name == "range":
+            ints = [_concrete_int(a) for a in args]
+            if all(v is not None for v in ints) and 1 <= len(ints) <= 3:
+                r = range(*ints)  # type: ignore[arg-type]
+                lo = r.start if len(ints) > 1 else 0
+                return RangeVal(
+                    Interval.point(lo), Interval.point(r.stop), r.step, r
+                )
+            if 1 <= len(args) <= 2:
+                lo_iv = _to_interval(args[0] if len(args) == 2 else 0)
+                hi_iv = _to_interval(args[-1])
+                return RangeVal(lo_iv, hi_iv, 1, None)
+            return RangeVal(Interval.top(), Interval.top(), 1, None)
+        if name == "len":
+            v = args[0] if args else TOP
+            if isinstance(v, (list, tuple, dict, str)):
+                return len(v)
+            if isinstance(v, ArrayRef):
+                return v.obj.length
+            if isinstance(v, RangeVal) and v.concrete is not None:
+                return len(v.concrete)
+            return TOP
+        if name == "enumerate":
+            v = args[0] if args else TOP
+            start = _concrete_int(args[1]) if len(args) > 1 else 0
+            elements = self._unrollable(v)
+            if elements is not None and start is not None:
+                return [(start + i, e) for i, e in enumerate(elements)]
+            return TOP
+        if name == "zip":
+            unrolled = [self._unrollable(a) for a in args]
+            if args and all(u is not None for u in unrolled):
+                return [tuple(t) for t in zip(*unrolled)]  # type: ignore[arg-type]
+            return TOP
+        if name in ("min", "max"):
+            if not args:
+                return TOP
+            values = list(args[0]) if len(args) == 1 and isinstance(
+                args[0], (list, tuple)
+            ) else args
+            if all(isinstance(v, (int, float, bool)) for v in values):
+                try:
+                    return (min if name == "min" else max)(values)
+                except Exception:
+                    return TOP
+            ivs = [_to_interval(v) for v in values]
+            if any(iv.is_top for iv in ivs) or any(
+                not isinstance(v, (int, bool, Interval)) for v in values
+            ):
+                return TOP
+            pick = min if name == "min" else max
+            los = [iv.lo for iv in ivs]
+            his = [iv.hi for iv in ivs]
+            lo = None if any(v is None for v in los) else pick(los)  # type: ignore[type-var]
+            hi = None if any(v is None for v in his) else pick(his)  # type: ignore[type-var]
+            return _norm(Interval(lo, hi))
+        if name == "abs":
+            v = args[0] if args else TOP
+            if isinstance(v, (int, float)):
+                return abs(v)
+            iv = _to_interval(v)
+            if iv.lo is not None and iv.hi is not None:
+                if iv.lo >= 0:
+                    return _norm(iv)
+                return _norm(Interval(0, max(abs(iv.lo), abs(iv.hi))))
+            return TOP
+        if name == "int":
+            v = args[0] if args else 0
+            if isinstance(v, (int, float, str, bool)):
+                try:
+                    return int(v)
+                except Exception:
+                    return TOP
+            if isinstance(v, Interval):
+                return v
+            return TOP
+        if name == "bool":
+            truth = self.truth(args[0]) if args else False
+            return TOP if truth is None else truth
+        if name == "sum":
+            v = args[0] if args else TOP
+            if isinstance(v, (list, tuple)) and all(
+                isinstance(x, (int, float, bool)) for x in v
+            ):
+                return sum(v)
+            if isinstance(v, (list, tuple)):
+                ivs = [_to_interval(x) for x in v]
+                total = Interval.point(0)
+                for iv in ivs:
+                    total = total + iv
+                return _norm(total)
+            return TOP
+        if name in ("sorted", "list", "tuple"):
+            v = args[0] if args else []
+            elements = self._unrollable(v) if not isinstance(v, list) else list(v)
+            if isinstance(v, tuple):
+                elements = list(v)
+            if elements is None:
+                return TOP
+            if name == "sorted":
+                try:
+                    return sorted(elements)  # type: ignore[type-var]
+                except Exception:
+                    return TOP
+            return tuple(elements) if name == "tuple" else list(elements)
+        if name in ("dict", "set"):
+            return dict(args[0]) if name == "dict" and args and isinstance(args[0], dict) else TOP
+        if name == "print":
+            return None
+        if name in ("str", "repr"):
+            return TOP
+        if name == "isinstance":
+            return TOP
+        if name == "float":
+            v = args[0] if args else 0.0
+            if isinstance(v, (int, float, bool)):
+                return float(v)
+            return TOP
+        return TOP
+
+    def _make_session(self, args: list, kwargs: dict, line: int) -> Any:
+        num_threads = _concrete_int(args[0]) if args else _concrete_int(
+            kwargs.get("num_threads")
+        )
+        if num_threads is None or num_threads <= 0:
+            raise StaticAnalysisError(
+                "CaptureSession needs a concrete positive num_threads for "
+                f"static analysis (line {line})"
+            )
+        seed = _concrete_int(kwargs.get("seed", 1))
+        name = kwargs.get("name", "captured")
+        line_size = _concrete_int(kwargs.get("line_size", 64))
+        session = SessionVal(
+            num_threads=num_threads,
+            seed=seed if seed is not None else 1,
+            name=name if isinstance(name, str) else "captured",
+            line_size=line_size if line_size is not None else 64,
+            rng=None,
+        )
+        if seed is None or not isinstance(name, str) or line_size is None:
+            self.analysis.layout.invalidate(
+                "session seed/name/line_size not statically concrete"
+            )
+        else:
+            session.rng = make_rng(seed, "capture", name, "alloc")
+        self.analysis.sessions.append(session)
+        if self.analysis.phases.num_threads == 0:
+            self.analysis.phases = PhaseTracker(num_threads)
+        return session
+
+    def _call_method(self, method: Method, args: list, kwargs: dict, line: int) -> Any:
+        owner, name = method.owner, method.name
+        if isinstance(owner, SessionVal):
+            return self._session_method(owner, name, args, kwargs, line)
+        if isinstance(owner, ArrayRef):
+            if name in ("load", "__getitem__"):
+                return self.read_subscript(owner, args[0] if args else TOP, line)
+            if name in ("store", "__setitem__"):
+                self.write_subscript(
+                    owner, args[0] if args else TOP, args[1] if len(args) > 1 else TOP, line
+                )
+                return None
+            if name == "add":
+                index = args[0] if args else TOP
+                self.record_site(owner.obj, False, index, line)
+                self.record_site(owner.obj, True, index, line)
+                return TOP
+            if name == "peek":
+                return TOP
+            return TOP
+        if isinstance(owner, StructRef):
+            if name == "peek":
+                return TOP
+            return TOP
+        if isinstance(owner, LockRef):
+            if name == "acquire":
+                self.locks.push(HeldEntry.single(owner.lock_id))
+                return None
+            if name == "release":
+                self.locks.release_id(owner.lock_id)
+                return None
+            return TOP
+        if isinstance(owner, BarrierRef):
+            if name == "wait":
+                self._barrier_wait(owner, line)
+                return None
+            return TOP
+        if isinstance(owner, CondRef):
+            if name in ("wait", "notify", "notify_all"):
+                return None
+            return TOP
+        if isinstance(owner, RngVal):
+            if name == "integers":
+                if "size" in kwargs or len(args) > 2:
+                    return TOP
+                lo = _to_interval(args[0]) if args else Interval.top()
+                hi = _to_interval(args[1]) if len(args) > 1 else None
+                if hi is None:
+                    # single-arg form: integers(hi) -> [0, hi-1]
+                    hi, lo = lo, Interval.point(0)
+                upper = None if hi.hi is None else hi.hi - 1
+                return _norm(Interval(lo.lo, upper))
+            return TOP
+        if isinstance(owner, RefSet):
+            result: Any = None
+            first = True
+            for member in owner.members:
+                value = self._call_method(Method(member, name), args, kwargs, line)
+                result = value if first else self.join_values(result, value)
+                first = False
+            return result if not first else TOP
+        if isinstance(owner, list):
+            if name == "append":
+                owner.append(args[0] if args else TOP)
+                return None
+            if name == "extend":
+                v = args[0] if args else TOP
+                if isinstance(v, (list, tuple)):
+                    owner.extend(v)
+                else:
+                    self.note("list.extend with unknown iterable")
+                return None
+            if name == "pop":
+                ci = _concrete_int(args[0]) if args else -1
+                if owner and ci is not None and -len(owner) <= ci < len(owner):
+                    return owner.pop(ci)
+                return TOP
+            self.note(f"list method .{name} approximated")
+            return TOP
+        if isinstance(owner, dict):
+            if name == "get":
+                return self.read_subscript(owner, args[0] if args else TOP, line)
+            if name in ("keys", "values", "items"):
+                if name == "keys":
+                    return list(owner.keys())
+                if name == "values":
+                    return list(owner.values())
+                return [(k, v) for k, v in owner.items()]
+            return TOP
+        if isinstance(owner, (str, tuple)):
+            return TOP
+        self.taint(args, f"method call on unknown value at line {line}")
+        return TOP
+
+    def _session_method(
+        self, session: SessionVal, name: str, args: list, kwargs: dict, line: int
+    ) -> Any:
+        if name == "array":
+            length = _concrete_int(args[0] if args else kwargs.get("length"))
+            element_size = _concrete_int(kwargs.get("element_size", 8))
+            obj_name = kwargs.get("name", "")
+            if length is None or length <= 0 or element_size is None:
+                raise StaticAnalysisError(
+                    "session.array needs concrete length/element_size "
+                    f"(line {line})"
+                )
+            return ArrayRef(
+                self._alloc_object(
+                    session,
+                    "array",
+                    obj_name if isinstance(obj_name, str) else "",
+                    length,
+                    element_size,
+                    None,
+                    line,
+                ),
+                session,
+            )
+        if name == "struct":
+            raw = args[0] if args else kwargs.get("fields")
+            if not isinstance(raw, (list, tuple)) or not all(
+                isinstance(f, str) for f in raw
+            ):
+                raise StaticAnalysisError(
+                    f"session.struct needs concrete field names (line {line})"
+                )
+            fields = tuple(raw)
+            obj_name = kwargs.get("name", "")
+            return StructRef(
+                self._alloc_object(
+                    session,
+                    "struct",
+                    obj_name if isinstance(obj_name, str) else "",
+                    len(fields),
+                    8,
+                    fields,
+                    line,
+                ),
+                session,
+            )
+        if name == "lock":
+            lock = LockRef(session.next_lock_id, line)
+            session.next_lock_id += 1
+            return lock
+        if name == "barrier":
+            parties = _concrete_int(args[0] if args else kwargs.get("parties"))
+            barrier = BarrierRef(
+                session.next_barrier_id,
+                parties if parties else session.num_threads,
+            )
+            session.next_barrier_id += 1
+            return barrier
+        if name == "condition":
+            lock = args[0] if args else kwargs.get("lock")
+            if isinstance(lock, LockRef):
+                return CondRef(lock)
+            inner = LockRef(session.next_lock_id, line)
+            session.next_lock_id += 1
+            return CondRef(inner)
+        if name == "compute":
+            return None
+        if name == "alloc":
+            nbytes = _concrete_int(args[0] if args else kwargs.get("nbytes"))
+            if nbytes is None or session.rng is None or session.frozen:
+                self.analysis.layout.invalidate(
+                    f"raw session.alloc not statically resolvable (line {line})"
+                )
+                return TOP
+            return session.alloc(nbytes)
+        if name == "run":
+            return self._run_session(session, args[0] if args else TOP, line)
+        self.note(f"session.{name} approximated (line {line})")
+        return TOP
+
+    def _alloc_object(
+        self,
+        session: SessionVal,
+        kind: str,
+        name: str,
+        length: int,
+        element_size: int,
+        fields: Optional[tuple],
+        line: int,
+    ) -> SharedObject:
+        base: Optional[int] = None
+        if session.frozen:
+            self.analysis.layout.invalidate(
+                f"allocation after session.run at line {line}"
+            )
+        elif session.rng is not None:
+            base = session.alloc(length * element_size)
+        obj = SharedObject(
+            oid=len(self.analysis.objects),
+            kind=kind,
+            name=name,
+            length=length,
+            element_size=element_size,
+            base=base,
+            source_line=line,
+            fields=fields,
+        )
+        self.analysis.objects.append(obj)
+        return obj
+
+    def _run_session(self, session: SessionVal, worker: Any, line: int) -> Any:
+        if session.ran:
+            self.note("a CaptureSession records exactly one run")
+        session.ran = True
+        session.frozen = True
+        if self.tid is not None:
+            self.note("nested session.run is not analyzable")
+            self.taint_all("nested session.run")
+            return TOP
+        if not isinstance(worker, FuncVal):
+            self.taint_all(f"session.run worker not statically resolvable (line {line})")
+            return TOP
+        for tid in range(session.num_threads):
+            self.tid = tid
+            self.phase = Interval.point(0)
+            self.locks = LockState()
+            saved_depth = self._indef_depth
+            self._indef_depth = 0
+            try:
+                self.call_function(worker, [tid], {})
+            except _PathBreak:
+                self.note(f"thread {tid}: worker path ends in an exception")
+                self.analysis.phases.invalidate(
+                    f"thread {tid} worker may raise before finishing"
+                )
+            finally:
+                self.tid = None
+                self._indef_depth = saved_depth
+        self.analysis.phases.finalize()
+        return TOP
+
+    def _barrier_wait(self, barrier: BarrierRef, line: int) -> None:
+        if self.tid is None:
+            self.note(f"barrier wait outside session.run (line {line})")
+            return
+        tracker = self.analysis.phases
+        if not self.definite:
+            tracker.invalidate(
+                f"conditional barrier wait at line {line}"
+            )
+            return
+        if barrier.parties != tracker.num_threads:
+            tracker.invalidate(
+                f"partial barrier ({barrier.parties} parties) at line {line}"
+            )
+            return
+        tracker.arrive(self.tid, barrier.barrier_id)
+        self.phase = self.phase + Interval.point(1)
+
+
+def _norm(iv: Interval) -> Any:
+    """Collapse point intervals back to concrete ints."""
+    if iv.is_point:
+        return iv.lo
+    return iv
+
+
+def _concrete_py(value: Any) -> Any:
+    """A plain Python scalar for calling real helpers like ``scaled``."""
+    if isinstance(value, (int, float, str, bool)):
+        return value
+    if isinstance(value, Interval) and value.is_point:
+        return value.lo
+    return None
+
+
+_PY_BINOPS: dict[str, Callable[[Any, Any], Any]] = {
+    "Add": lambda a, b: a + b,
+    "Sub": lambda a, b: a - b,
+    "Mult": lambda a, b: a * b,
+    "FloorDiv": lambda a, b: a // b,
+    "Mod": lambda a, b: a % b,
+    "Div": lambda a, b: a / b,
+    "Pow": lambda a, b: a**b,
+    "LShift": lambda a, b: a << b,
+    "RShift": lambda a, b: a >> b,
+    "BitAnd": lambda a, b: a & b,
+    "BitOr": lambda a, b: a | b,
+    "BitXor": lambda a, b: a ^ b,
+}
+
+_IV_BINOPS: dict[str, Callable[[Interval, Interval], Interval]] = {
+    "Add": lambda a, b: a + b,
+    "Sub": lambda a, b: a - b,
+    "Mult": lambda a, b: a * b,
+    "FloorDiv": lambda a, b: a // b,
+    "Mod": lambda a, b: a % b,
+}
+
+_PY_CMPOPS: dict[str, Callable[[Any, Any], Any]] = {
+    "Eq": lambda a, b: a == b,
+    "NotEq": lambda a, b: a != b,
+    "Lt": lambda a, b: a < b,
+    "LtE": lambda a, b: a <= b,
+    "Gt": lambda a, b: a > b,
+    "GtE": lambda a, b: a >= b,
+    "In": lambda a, b: a in b,
+    "NotIn": lambda a, b: a not in b,
+}
+
+
+def _finalize_taints(analysis: StaticAnalysis) -> None:
+    """Expand tainted objects into whole-object R/W sites on every
+    thread: whatever escaped static view may be touched anywhere."""
+    for obj in analysis.objects:
+        if not obj.tainted:
+            continue
+        span = Interval(0, obj.length - 1)
+        for tid in range(analysis.num_threads):
+            for is_write in (False, True):
+                analysis.sites.append(
+                    AccessSite(
+                        oid=obj.oid,
+                        tid=tid,
+                        is_write=is_write,
+                        index=span,
+                        locks=frozenset(),
+                        phase=Interval.top(),
+                        definite=False,
+                        source_line=obj.source_line,
+                    )
+                )
+
+
+def _iter_target_functions(
+    module_env: Env, function: Optional[str], source: str
+) -> Iterator[tuple[str, FuncVal]]:
+    if function is not None:
+        value = module_env.vars.get(function)
+        if not isinstance(value, FuncVal):
+            raise StaticAnalysisError(
+                f"function {function!r} not found in the analyzed module"
+            )
+        yield function, value
+        return
+    for name, value in module_env.vars.items():
+        if not isinstance(value, FuncVal) or isinstance(value.node, ast.Lambda):
+            continue
+        if any(
+            isinstance(n, ast.Call)
+            and isinstance(n.func, ast.Name)
+            and n.func.id == "CaptureSession"
+            for n in ast.walk(value.node)
+        ):
+            yield name, value
+
+
+def analyze_source(
+    source: str,
+    *,
+    function: Optional[str] = None,
+    filename: str = "<static>",
+    num_threads: int = 4,
+    seed: int = 1,
+    scale: float = 1.0,
+    params: Optional[dict] = None,
+    line_size: int = 64,
+) -> StaticAnalysis:
+    """Statically analyze one capture workload function in ``source``.
+
+    The named ``function`` (auto-detected when omitted: the first
+    function that constructs a ``CaptureSession``) is abstractly called
+    with the given parameters bound to whichever of ``num_threads`` /
+    ``seed`` / ``scale`` its signature accepts.
+    """
+    tree = ast.parse(source, filename=filename)
+    analysis = StaticAnalysis(
+        num_threads=num_threads,
+        seed=seed,
+        scale=scale,
+        target=function or filename,
+        line_size=line_size,
+    )
+    interp = Interp(analysis)
+    module_env = interp.exec_module(tree)
+    targets = list(_iter_target_functions(module_env, function, source))
+    if not targets:
+        raise StaticAnalysisError(
+            f"{filename}: no function constructing a CaptureSession found"
+        )
+    name, func = targets[0]
+    analysis.target = name
+    known = {"num_threads": num_threads, "seed": seed, "scale": scale}
+    known.update(params or {})
+    a = func.node.args
+    accepted = {p.arg for p in a.posonlyargs + a.args + a.kwonlyargs}
+    kwargs = {k: v for k, v in known.items() if k in accepted}
+    try:
+        interp.call_function(func, [], kwargs)
+    except _PathBreak:
+        analysis.note(f"{name}: analysis path ends in an exception")
+    _finalize_taints(analysis)
+    return analysis

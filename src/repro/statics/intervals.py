@@ -1,0 +1,209 @@
+"""Integer interval domain for the static conflict analyzer.
+
+Index expressions in captured workloads are small integer arithmetic
+over the thread id, ``scaled(...)`` results, and loop counters.  The
+abstract interpreter folds whatever is concrete and falls back to this
+closed-interval domain for the rest; :data:`Interval.TOP` (unbounded on
+both sides) is the sound "don't know" element.
+
+Everything here is deliberately conservative: any operation that cannot
+produce a tight bound returns a wider interval, never a narrower one.
+The soundness containment suite (``tests/test_statics_containment.py``)
+leans on exactly that direction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+_INF = None  # readable alias for an open bound
+
+
+@dataclass(frozen=True)
+class Interval:
+    """Closed integer interval ``[lo, hi]``; ``None`` means unbounded."""
+
+    lo: Optional[int]
+    hi: Optional[int]
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def top() -> "Interval":
+        return _TOP
+
+    @staticmethod
+    def point(value: int) -> "Interval":
+        return Interval(value, value)
+
+    @staticmethod
+    def from_range(lo: int, hi_exclusive: int) -> "Interval":
+        """The interval of ``range(lo, hi_exclusive)`` (empty → point lo)."""
+        if hi_exclusive <= lo:
+            return Interval(lo, lo)
+        return Interval(lo, hi_exclusive - 1)
+
+    # -- predicates --------------------------------------------------------
+
+    @property
+    def is_top(self) -> bool:
+        return self.lo is _INF and self.hi is _INF
+
+    @property
+    def is_point(self) -> bool:
+        return self.lo is not _INF and self.lo == self.hi
+
+    def contains(self, value: int) -> bool:
+        if self.lo is not _INF and value < self.lo:
+            return False
+        if self.hi is not _INF and value > self.hi:
+            return False
+        return True
+
+    # -- lattice -----------------------------------------------------------
+
+    def hull(self, other: "Interval") -> "Interval":
+        lo = _INF if self.lo is _INF or other.lo is _INF else min(self.lo, other.lo)
+        hi = _INF if self.hi is _INF or other.hi is _INF else max(self.hi, other.hi)
+        return Interval(lo, hi)
+
+    def intersect(self, other: "Interval") -> Optional["Interval"]:
+        """The overlap, or ``None`` when provably disjoint."""
+        lo = self.lo if other.lo is _INF else (
+            other.lo if self.lo is _INF else max(self.lo, other.lo)
+        )
+        hi = self.hi if other.hi is _INF else (
+            other.hi if self.hi is _INF else min(self.hi, other.hi)
+        )
+        if lo is not _INF and hi is not _INF and lo > hi:
+            return None
+        return Interval(lo, hi)
+
+    def clip(self, lo: int, hi: int) -> "Interval":
+        """Clamp into ``[lo, hi]`` (shared-object bounds checking)."""
+        new_lo = lo if self.lo is _INF else min(max(self.lo, lo), hi)
+        new_hi = hi if self.hi is _INF else max(min(self.hi, hi), lo)
+        return Interval(new_lo, new_hi)
+
+    # -- arithmetic --------------------------------------------------------
+
+    def __add__(self, other: "Interval") -> "Interval":
+        lo = _INF if self.lo is _INF or other.lo is _INF else self.lo + other.lo
+        hi = _INF if self.hi is _INF or other.hi is _INF else self.hi + other.hi
+        return Interval(lo, hi)
+
+    def __sub__(self, other: "Interval") -> "Interval":
+        lo = _INF if self.lo is _INF or other.hi is _INF else self.lo - other.hi
+        hi = _INF if self.hi is _INF or other.lo is _INF else self.hi - other.lo
+        return Interval(lo, hi)
+
+    def __neg__(self) -> "Interval":
+        lo = _INF if self.hi is _INF else -self.hi
+        hi = _INF if self.lo is _INF else -self.lo
+        return Interval(lo, hi)
+
+    def __mul__(self, other: "Interval") -> "Interval":
+        if _INF in (self.lo, self.hi, other.lo, other.hi):
+            return _TOP
+        products = [
+            self.lo * other.lo,
+            self.lo * other.hi,
+            self.hi * other.lo,
+            self.hi * other.hi,
+        ]
+        return Interval(min(products), max(products))
+
+    def __floordiv__(self, other: "Interval") -> "Interval":
+        if _INF in (self.lo, self.hi, other.lo, other.hi):
+            return _TOP
+        if other.lo <= 0 <= other.hi:
+            return _TOP
+        quotients = [
+            self.lo // other.lo,
+            self.lo // other.hi,
+            self.hi // other.lo,
+            self.hi // other.hi,
+        ]
+        return Interval(min(quotients), max(quotients))
+
+    def __mod__(self, other: "Interval") -> "Interval":
+        if other.is_point and other.lo is not _INF and other.lo > 0:
+            m = other.lo
+            if (
+                self.lo is not _INF
+                and self.hi is not _INF
+                and self.lo >= 0
+                and self.lo // m == self.hi // m
+            ):
+                return Interval(self.lo % m, self.hi % m)
+            return Interval(0, m - 1)
+        return _TOP
+
+    # -- comparisons (three-valued: True / False / None=unknown) -----------
+
+    def cmp_lt(self, other: "Interval") -> Optional[bool]:
+        if self.hi is not _INF and other.lo is not _INF and self.hi < other.lo:
+            return True
+        if self.lo is not _INF and other.hi is not _INF and self.lo >= other.hi:
+            return False
+        return None
+
+    def cmp_eq(self, other: "Interval") -> Optional[bool]:
+        if self.is_point and other.is_point:
+            return self.lo == other.lo
+        if self.intersect(other) is None:
+            return False
+        return None
+
+    def __repr__(self) -> str:
+        if self.is_top:
+            return "[-inf, +inf]"
+        lo = "-inf" if self.lo is _INF else str(self.lo)
+        hi = "+inf" if self.hi is _INF else str(self.hi)
+        return f"[{lo}, {hi}]"
+
+
+_TOP = Interval(_INF, _INF)
+
+
+def hull_all(intervals: Iterable[Interval]) -> Interval:
+    """Convex hull of a non-empty iterable of intervals."""
+    result: Optional[Interval] = None
+    for iv in intervals:
+        result = iv if result is None else result.hull(iv)
+    if result is None:
+        raise ValueError("hull of empty iterable")
+    return result
+
+
+def affine_render(samples: dict[int, Interval]) -> str:
+    """Render per-tid index intervals as a thread-id-affine slice.
+
+    Given the interval observed for each concrete thread id, detect the
+    common ``a + b*tid + [0, w]`` form and render it symbolically (the
+    shape produced by block partitioning); otherwise fall back to the
+    hull.  Rendering only — classification never consumes this.
+    """
+    tids = sorted(samples)
+    if len(tids) >= 2 and all(
+        samples[t].lo is not None and samples[t].hi is not None for t in tids
+    ):
+        t0, t1 = tids[0], tids[1]
+        stride = samples[t1].lo - samples[t0].lo  # type: ignore[operator]
+        width = samples[t0].hi - samples[t0].lo  # type: ignore[operator]
+        affine = all(
+            samples[t].lo == samples[t0].lo + stride * (t - t0)
+            and samples[t].hi - samples[t].lo == width  # type: ignore[operator]
+            for t in tids
+        )
+        if affine and stride != 0:
+            base = samples[t0].lo - stride * t0  # type: ignore[operator]
+            origin = f"{stride}*tid" if stride != 1 else "tid"
+            if base:
+                origin = f"{origin}{base:+d}"
+            if width:
+                return f"{origin} .. +{width}"
+            return origin
+    merged = hull_all(samples.values())
+    return repr(merged)

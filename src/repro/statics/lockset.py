@@ -1,0 +1,76 @@
+"""Lockset tracking for the static analyzer.
+
+The dynamic analyzer's lockset rule (``analysis/hb.py``) excludes a
+conflict when both accesses held a common traced lock.  Statically we
+may only claim exclusion when the lock identity is *provable*: a
+``with lock:`` over a lock the interpreter resolved to exactly one
+:class:`~repro.statics.interp.LockRef`.  A ``with locks[victim]:``
+where ``victim`` is an interval contributes an *ambiguous* entry — it
+is rendered for the report but never used to prove exclusion, keeping
+static exclusion a subset of dynamic exclusion (the soundness
+direction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class HeldEntry:
+    """One active lock acquisition (``with`` block or bare acquire)."""
+
+    lock_ids: frozenset  # candidate lock ids
+    definite: bool  # exactly one candidate on every path
+
+    @staticmethod
+    def single(lock_id: int) -> "HeldEntry":
+        return HeldEntry(frozenset((lock_id,)), True)
+
+    @staticmethod
+    def ambiguous(lock_ids) -> "HeldEntry":
+        ids = frozenset(lock_ids)
+        return HeldEntry(ids, len(ids) == 1)
+
+
+@dataclass
+class LockState:
+    """The stack of locks held at the current interpretation point."""
+
+    held: list = field(default_factory=list)
+
+    def push(self, entry: HeldEntry) -> None:
+        self.held.append(entry)
+
+    def pop(self, entry: HeldEntry) -> None:
+        for i in range(len(self.held) - 1, -1, -1):
+            if self.held[i] is entry:
+                del self.held[i]
+                return
+
+    def release_id(self, lock_id: int) -> None:
+        """Bare ``lock.release()``: drop the matching definite entry."""
+        for i in range(len(self.held) - 1, -1, -1):
+            entry = self.held[i]
+            if entry.definite and lock_id in entry.lock_ids:
+                del self.held[i]
+                return
+
+    def definite_ids(self) -> frozenset:
+        """Locks provably held here (the only ones exclusion may use)."""
+        out: set = set()
+        for entry in self.held:
+            if entry.definite:
+                out.update(entry.lock_ids)
+        return frozenset(out)
+
+    def snapshot(self) -> list:
+        return list(self.held)
+
+    def restore(self, snap: list) -> None:
+        self.held[:] = snap
+
+
+def common_lock(a: frozenset, b: frozenset) -> bool:
+    """Do two sites provably share a lock?  (Static exclusion rule.)"""
+    return bool(a & b)

@@ -1,0 +1,134 @@
+"""IR of the static conflict analyzer: objects, access sites, verdicts.
+
+The abstract interpreter (:mod:`repro.statics.interp`) lowers a capture
+workload's source into this IR: every ``session.array``/``session.struct``
+call becomes a :class:`SharedObject` with the *same* base address the
+real allocator would assign (the interpreter mirrors the seeded bump
+allocator), and every traced load/store reached on any path becomes an
+:class:`AccessSite` carrying its element-index interval, the definite
+lockset, the barrier phase, and a definiteness flag.
+
+The report layer (:mod:`repro.statics.report`) classifies site pairs and
+lines from this IR alone — it never looks back at the AST.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .intervals import Interval
+
+#: pair verdicts, ordered by severity
+NO_CONFLICT = "no-conflict"
+MAY_CONFLICT = "may-conflict"
+MUST_CONFLICT = "must-conflict"
+
+#: static line classes (names match ``core.batch``'s classifier tiers)
+LINE_PRIVATE = "private"
+LINE_RO_SHARED = "ro_shared"
+LINE_CONTENDED = "contended"
+
+#: reasons a pair is NO-CONFLICT (reported, so precision is inspectable)
+REASON_DISJOINT = "disjoint-footprint"
+REASON_READ_ONLY = "both-read"
+REASON_LOCK = "common-lock"
+REASON_PHASE = "barrier-ordered"
+
+
+@dataclass
+class SharedObject:
+    """One ``session.array``/``session.struct`` allocation site."""
+
+    oid: int
+    kind: str  # "array" | "struct"
+    name: str
+    length: int  # elements (fields for a struct)
+    element_size: int
+    base: int | None  # mirrored address; None when layout is unknown
+    source_line: int
+    fields: tuple[str, ...] | None = None
+    tainted: bool = False  # escaped into unanalyzable code
+
+    @property
+    def nbytes(self) -> int:
+        return self.length * self.element_size
+
+    def lines(self, line_size: int) -> list[int]:
+        """All cache lines the object spans (empty when base unknown)."""
+        if self.base is None:
+            return []
+        first = self.base // line_size * line_size
+        last = (self.base + self.nbytes - 1) // line_size * line_size
+        return list(range(first, last + line_size, line_size))
+
+    def element_label(self, index: Interval) -> str:
+        if self.kind == "struct" and self.fields is not None and index.is_point:
+            return f".{self.fields[index.lo]}"  # type: ignore[index]
+        return f"[{index!r}]"
+
+
+@dataclass(frozen=True)
+class AccessSite:
+    """One traced load/store reached by the abstract interpreter."""
+
+    oid: int
+    tid: int
+    is_write: bool
+    index: Interval  # element space, already clipped to the object
+    locks: frozenset  # ids of locks *definitely* held
+    phase: Interval  # barrier phase counter at the site
+    definite: bool  # reached on every path of this thread
+    source_line: int
+    #: an ambiguously-resolved lock is held: useless for exclusion, but
+    #: it could coincide across threads at runtime, so the site may not
+    #: take part in a MUST-CONFLICT claim
+    ambiguous_lock: bool = False
+
+    def footprint(self, obj: SharedObject) -> Interval:
+        """Byte interval relative to the object base."""
+        lo = 0 if self.index.lo is None else self.index.lo * obj.element_size
+        hi = (
+            obj.nbytes - 1
+            if self.index.hi is None
+            else self.index.hi * obj.element_size + obj.element_size - 1
+        )
+        return Interval(lo, hi)
+
+
+@dataclass
+class PairFinding:
+    """Classification of one cross-thread (site, site) pair."""
+
+    obj: SharedObject
+    verdict: str
+    reason: str
+    site_a: AccessSite
+    site_b: AccessSite
+    overlap: Interval | None  # element intersection (None for NO_CONFLICT)
+
+    def to_dict(self) -> dict:
+        return {
+            "object": self.obj.name or f"obj{self.obj.oid}",
+            "verdict": self.verdict,
+            "reason": self.reason,
+            "tid_a": self.site_a.tid,
+            "tid_b": self.site_b.tid,
+            "line_a": self.site_a.source_line,
+            "line_b": self.site_b.source_line,
+            "write_a": self.site_a.is_write,
+            "write_b": self.site_b.is_write,
+            "overlap": repr(self.overlap) if self.overlap is not None else None,
+        }
+
+
+@dataclass
+class StaticLayout:
+    """Mirrored allocator state: proves/disproves address knowledge."""
+
+    valid: bool = True
+    notes: list[str] = field(default_factory=list)
+
+    def invalidate(self, why: str) -> None:
+        self.valid = False
+        if why not in self.notes:
+            self.notes.append(why)

@@ -1,0 +1,55 @@
+"""Barrier-phase partitioning: the static happens-before coarsening.
+
+The dynamic analyzer derives full vector-clock happens-before from
+barrier episodes.  Statically we keep only its coarsest sound shadow: a
+per-thread *phase counter* that increments at every barrier wait the
+interpreter can prove is (a) executed on every path, (b) outside any
+abstract loop, and (c) on a barrier whose party count equals the whole
+session.  Two sites in different phases are then barrier-ordered: the
+later thread has passed a full-session episode that the earlier site
+precedes.
+
+Anything weaker — a wait under an unresolved condition, inside an
+interval-mode loop, or on a partial barrier — poisons the whole phase
+ordering (:meth:`PhaseTracker.invalidate`), because a miscounted phase
+could claim an ordering the dynamic schedule does not have.  A final
+cross-thread alignment check rejects runs where threads arrived at
+different barrier sequences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .intervals import Interval
+
+
+@dataclass
+class PhaseTracker:
+    num_threads: int
+    valid: bool = True
+    reasons: list[str] = field(default_factory=list)
+    #: per-tid sequence of (barrier id) definite arrivals, for alignment
+    arrival_seqs: dict[int, list[int]] = field(default_factory=dict)
+
+    def invalidate(self, why: str) -> None:
+        self.valid = False
+        if why not in self.reasons:
+            self.reasons.append(why)
+
+    def arrive(self, tid: int, barrier_id: int) -> None:
+        self.arrival_seqs.setdefault(tid, []).append(barrier_id)
+
+    def finalize(self) -> None:
+        """Cross-thread alignment: every thread must have arrived at the
+        same sequence of definite full-session waits, else no phase
+        ordering can be trusted."""
+        seqs = [self.arrival_seqs.get(tid, []) for tid in range(self.num_threads)]
+        if any(seq != seqs[0] for seq in seqs[1:]):
+            self.invalidate("threads reach different barrier sequences")
+
+    def ordered(self, a: Interval, b: Interval) -> bool:
+        """Are two sites provably separated by a full-session episode?"""
+        if not self.valid:
+            return False
+        return a.cmp_lt(b) is True or b.cmp_lt(a) is True

@@ -13,6 +13,13 @@ seeds.  Two patterns silently break that:
 * **DET002 — ``id()`` keys**.  ``id()`` values differ across processes,
   so containers keyed (or ordered) by them are nondeterministic.
 
+* **DET003 — unsorted filesystem iteration**.  ``glob.glob``,
+  ``os.listdir``/``os.scandir`` and ``Path.iterdir``/``glob``/``rglob``
+  return entries in OS-and-filesystem-dependent order; consuming them
+  without ``sorted(...)`` makes sweep manifests, golden comparisons and
+  aggregate reports depend on the machine.  A call anywhere inside a
+  ``sorted(...)`` argument is blessed.
+
 The checker is intentionally conservative: it flags only iterables it
 can *prove* are sets — set literals/comprehensions, ``set()`` /
 ``frozenset()`` calls, names and ``self`` attributes assigned or
@@ -35,8 +42,15 @@ import sys
 from dataclasses import dataclass
 from pathlib import Path
 
-#: checked by default: the modules whose control flow decides schedules
-DEFAULT_PATHS = ("src/repro/protocols", "src/repro/core", "src/repro/capture")
+#: checked by default: the modules whose control flow decides schedules,
+#: plus the harness and CLI tools whose file sweeps feed reports
+DEFAULT_PATHS = (
+    "src/repro/protocols",
+    "src/repro/core",
+    "src/repro/capture",
+    "src/repro/harness",
+    "src/repro/tools",
+)
 
 PRAGMA = "detlint: ok"
 
@@ -143,8 +157,37 @@ class _SymbolCollector(ast.NodeVisitor):
         self.generic_visit(node)
 
 
+#: module-level filesystem enumerators with OS-dependent order
+_FS_FUNCTIONS = {
+    ("glob", "glob"),
+    ("glob", "iglob"),
+    ("os", "listdir"),
+    ("os", "scandir"),
+}
+
+#: Path methods with OS-dependent order (checked on any receiver — a
+#: lint-grade approximation; non-Path receivers with these names are
+#: rare and a false positive is one pragma away)
+_FS_METHODS = ("iterdir", "glob", "rglob")
+
+
+def _fs_iteration(node: ast.Call) -> str | None:
+    """The dotted name of an order-unstable filesystem call, or None."""
+    func = node.func
+    if not isinstance(func, ast.Attribute):
+        return None
+    if (
+        isinstance(func.value, ast.Name)
+        and (func.value.id, func.attr) in _FS_FUNCTIONS
+    ):
+        return f"{func.value.id}.{func.attr}"
+    if func.attr in _FS_METHODS:
+        return f".{func.attr}()"
+    return None
+
+
 class _IterationChecker(ast.NodeVisitor):
-    """Second pass: flag set iteration and id() calls."""
+    """Second pass: flag set iteration, id() calls and unsorted fs walks."""
 
     def __init__(self, filename: str, kinds: dict[object, str]):
         self.filename = filename
@@ -195,6 +238,20 @@ class _IterationChecker(ast.NodeVisitor):
                 "DET002",
                 "id() is process-dependent; identity-keyed containers are "
                 "nondeterministic — key by a stable field instead",
+            ))
+        if isinstance(node.func, ast.Name) and node.func.id == "sorted":
+            # bless every fs call anywhere inside sorted's arguments
+            for arg in node.args + [kw.value for kw in node.keywords]:
+                for child in ast.walk(arg):
+                    child._det_sorted = True  # type: ignore[attr-defined]
+        name = _fs_iteration(node)
+        if name is not None and not getattr(node, "_det_sorted", False):
+            self.findings.append(Finding(
+                self.filename,
+                node.lineno,
+                "DET003",
+                f"unsorted filesystem iteration ({name}): directory order "
+                "is OS-dependent — wrap in sorted(...)",
             ))
         self.generic_visit(node)
 

@@ -331,7 +331,7 @@ class TestSuiteWorkloads:
 
 class TestLintRules:
     def test_registry_is_consistent(self):
-        assert len(RULES) == 16
+        assert len(RULES) == 19
         for rule_id, rule in RULES.items():
             assert rule.rule_id == rule_id
             assert rule.severity in SEVERITIES
@@ -450,3 +450,68 @@ class TestLintRules:
 
     def test_max_severity_empty(self):
         assert max_severity([]) is None
+
+
+class TestCaptureShapeRules:
+    """CAP5xx rules fire only on programs named ``capture*``."""
+
+    @staticmethod
+    def _serialized(name="capture-test"):
+        # two threads, two shared lines, every shared access under lock 7
+        def one_thread():
+            return (
+                TraceBuilder()
+                .acquire(7).read(0x1000).write(0x1040).release(7)
+                .build()
+            )
+        return Program([one_thread(), one_thread()], name=name)
+
+    def test_cap501_fully_serialized(self):
+        findings = lint_program(self._serialized())
+        assert "CAP501" in rule_ids(findings)
+
+    def test_cap501_needs_capture_prefix(self):
+        findings = lint_program(self._serialized(name="synth-test"))
+        assert not any(r.startswith("CAP") for r in rule_ids(findings))
+
+    def test_cap501_not_fired_when_one_access_unlocked(self):
+        t0 = (
+            TraceBuilder()
+            .acquire(7).read(0x1000).write(0x1040).release(7)
+            .build()
+        )
+        t1 = TraceBuilder().read(0x1000).read(0x1040).build()
+        findings = lint_program(Program([t0, t1], name="capture-test"))
+        assert "CAP501" not in rule_ids(findings)
+
+    def test_cap502_disjoint_threads(self):
+        t0 = TraceBuilder().read(0x1000).write(0x1000).build()
+        t1 = TraceBuilder().read(0x2000).write(0x2000).build()
+        findings = lint_program(Program([t0, t1], name="capture-test"))
+        assert "CAP502" in rule_ids(findings)
+        assert "CAP501" not in rule_ids(findings)
+
+    def test_cap503_single_shared_line(self):
+        t0 = TraceBuilder().write(0x1000).read(0x3000).build()
+        t1 = TraceBuilder().write(0x1008).read(0x4000).build()
+        findings = lint_program(Program([t0, t1], name="capture-test"))
+        assert "CAP503" in rule_ids(findings)
+        assert "CAP502" not in rule_ids(findings)
+
+    def test_shipped_capture_workloads_shapes(self):
+        from repro.capture.workloads import CAPTURE_WORKLOADS
+
+        by_name = {}
+        for name, builder in CAPTURE_WORKLOADS.items():
+            program = builder(num_threads=4, seed=1, scale=0.1)
+            by_name[name] = {
+                r for r in rule_ids(lint_program(program))
+                if r.startswith("CAP")
+            }
+        # the bounded queue really is one-lock serialized; the racy
+        # counter really is a one-line contention microbenchmark
+        assert by_name["capture-pipeline"] == {"CAP501"}
+        assert by_name["capture-racy-counter"] == {"CAP503"}
+        assert by_name["capture-histogram"] == set()
+        assert by_name["capture-blackscholes"] == set()
+        assert by_name["capture-workqueue"] == set()

@@ -121,9 +121,66 @@ class TestPragma:
         assert len(findings) == 1
 
 
+class TestFilesystemIteration:
+    def test_glob_flagged(self):
+        findings = lint("""
+            import glob
+            for name in glob.glob("*.json"):
+                pass
+        """)
+        assert [f.code for f in findings] == ["DET003"]
+
+    def test_listdir_and_scandir_flagged(self):
+        findings = lint("""
+            import os
+            names = os.listdir(".")
+            entries = os.scandir(".")
+        """)
+        assert [f.code for f in findings] == ["DET003", "DET003"]
+
+    def test_path_methods_flagged(self):
+        findings = lint("""
+            from pathlib import Path
+            for p in Path(".").iterdir():
+                pass
+            files = root.rglob("*.py")
+            more = root.glob("*.npz")
+        """)
+        assert [f.code for f in findings] == ["DET003"] * 3
+
+    def test_sorted_wrap_blesses(self):
+        findings = lint("""
+            import glob, os
+            from pathlib import Path
+            for name in sorted(glob.glob("*.json")):
+                pass
+            names = sorted(os.listdir("."))
+            files = sorted(Path(".").rglob("*.py"))
+        """)
+        assert findings == []
+
+    def test_sorted_blesses_nested_calls(self):
+        findings = lint("""
+            xs = sorted(p.name for p in root.iterdir())
+            ys = sorted(root.glob("*.py"), key=str)
+        """)
+        assert findings == []
+
+    def test_pragma_suppresses_fs_finding(self):
+        findings = lint("""
+            import os
+            names = os.listdir(".")  # detlint: ok
+        """)
+        assert findings == []
+
+
 class TestRepoIsClean:
     def test_default_paths_have_no_findings(self):
         assert lint_paths(list(DEFAULT_PATHS)) == []
+
+    def test_default_paths_cover_harness_and_tools(self):
+        assert "src/repro/harness" in DEFAULT_PATHS
+        assert "src/repro/tools" in DEFAULT_PATHS
 
 
 class TestCli:
