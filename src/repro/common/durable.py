@@ -1,0 +1,533 @@
+"""Crash-consistent durable-file primitives for every on-disk artifact.
+
+The paper's thesis is that conflicts must surface as *precise,
+recoverable exceptions* rather than silent corruption; this module
+holds the harness's own durable state to the same standard.  Every
+artifact the harness persists — cache entries, checkpoint journals,
+manifests, salvaged traces — goes through one of three disciplines:
+
+* :func:`atomic_replace` — write to a same-directory temp file, fsync
+  it, ``os.replace`` over the destination, fsync the parent directory.
+  A reader (or a crash at any byte) observes *old or new bytes, never a
+  mix*; the worst crash residue is a stale ``.tmp-*`` file, which
+  :func:`gc_stale_tmps` reclaims age-gated under the directory lock.
+
+* :class:`FramedJournal` — an append-only log of CRC+length-framed
+  records.  Appends are single ``write(2)`` calls on an ``O_APPEND``
+  descriptor under an advisory ``flock``, so concurrent processes can
+  share one journal; recovery (:meth:`FramedJournal.scan`) salvages the
+  valid frame prefix and treats everything after the first bad frame as
+  a torn tail.  :meth:`FramedJournal.repair` truncates that tail off.
+
+* :class:`FileLock` — advisory ``fcntl.flock`` mutual exclusion for
+  multi-step read-modify-write sequences (manifest merges, tmp GC).
+
+Durability knobs: fsyncs are on by default and can be disabled globally
+with ``REPRO_NO_FSYNC=1`` (benchmarks measure the discipline's cost;
+tmpfs test runs don't need it).
+
+Chaos hooks: the seeded kill-point harness
+(:class:`repro.harness.faultinject.KillPlan`) installs a hook consulted
+at every named write site; it can SIGKILL-equivalent the process
+(``os._exit``) or *tear* a write at a chosen byte and then die —
+exactly the crash shapes the recovery paths above must absorb.  Sites
+are activated from the ``REPRO_KILLPOINTS`` environment variable so
+spawned harness processes and forked workers inherit the plan.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import tempfile
+import time
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterator
+
+try:  # POSIX advisory locks; degrade to no-op locking elsewhere
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
+
+#: prefix of every temp file the atomic-replace discipline creates;
+#: crash residue is recognizable (and GC-able) by this prefix
+TMP_PREFIX = ".tmp-"
+
+#: set to any non-empty value to skip every fsync (tmpfs, benchmarks)
+FSYNC_ENV = "REPRO_NO_FSYNC"
+
+#: kill-point plan spec, e.g. ``seed=7,rate=0.1`` (see faultinject.KillPlan)
+KILLPOINT_ENV = "REPRO_KILLPOINTS"
+
+#: exit status of a process killed at an injected kill point
+KILLPOINT_EXIT_STATUS = 43
+
+
+def fsync_enabled() -> bool:
+    """Whether the fsync discipline is active (``REPRO_NO_FSYNC`` unset)."""
+    return not os.environ.get(FSYNC_ENV)
+
+
+def fsync_fd(fd: int) -> None:
+    if fsync_enabled():
+        os.fsync(fd)
+
+
+def fdatasync_fd(fd: int) -> None:
+    """Flush file *data* (plus the size metadata needed to read it).
+
+    ``fdatasync`` skips the timestamp/inode churn ``fsync`` pays, which
+    is the right trade for artifacts whose existence is made durable by
+    a directory fsync (atomic replace) or that are pure appends.
+    """
+    if fsync_enabled():
+        getattr(os, "fdatasync", os.fsync)(fd)
+
+
+def fsync_dir(path: str | Path) -> None:
+    """fsync a directory so a just-renamed entry survives power loss.
+
+    Best-effort: some filesystems refuse directory fsync (EINVAL) —
+    on those the rename itself is the strongest ordering available.
+    """
+    if not fsync_enabled():
+        return
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - exotic fs
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - EINVAL on some filesystems
+        pass
+    finally:
+        os.close(fd)
+
+
+# --------------------------------------------------------------------------
+# kill points (chaos hooks)
+# --------------------------------------------------------------------------
+
+#: hook(site, length) -> None | ("kill",) | ("tear", cut_byte)
+KillHook = Callable[[str, int], "tuple | None"]
+
+_kill_hook: KillHook | None = None
+_env_probed = False
+
+
+def set_kill_hook(hook: KillHook | None) -> None:
+    """Install (or clear) the process-wide kill-point hook."""
+    global _kill_hook, _env_probed
+    _kill_hook = hook
+    _env_probed = hook is not None
+
+
+def _active_hook() -> KillHook | None:
+    """The installed hook, else one built from ``$REPRO_KILLPOINTS``.
+
+    The environment probe happens lazily and once, so forked workers
+    and ``python -m repro.harness.run`` subprocesses under a chaos
+    drill activate the plan without any plumbing.  The import is lazy
+    to keep ``common`` free of an import-time dependency on ``harness``.
+    """
+    global _kill_hook, _env_probed
+    if _kill_hook is None and not _env_probed:
+        _env_probed = True
+        spec = os.environ.get(KILLPOINT_ENV)
+        if spec:
+            from ..harness.faultinject import KillPlan
+
+            _kill_hook = KillPlan.parse(spec).hook()
+    return _kill_hook
+
+
+def _die() -> None:  # monkeypatchable seam for in-process tests
+    os._exit(KILLPOINT_EXIT_STATUS)
+
+
+def kill_point(site: str) -> None:
+    """Crash-only chaos site: die here if the active plan says so."""
+    hook = _active_hook()
+    if hook is None:
+        return
+    action = hook(site, 0)
+    if action is not None:
+        _die()
+
+
+def checked_write(fd: int, data: bytes, site: str) -> None:
+    """``write(2)`` the whole buffer, honoring tear/kill chaos at ``site``.
+
+    A *tear* writes a prefix of ``data`` ending at the plan's chosen
+    byte and then dies — the torn-write shape a power cut produces.
+    """
+    hook = _active_hook()
+    if hook is not None:
+        action = hook(site, len(data))
+        if action is not None:
+            if action[0] == "tear" and len(data):
+                cut = max(0, min(int(action[1]), len(data) - 1))
+                os.write(fd, data[:cut])
+            _die()
+    view = memoryview(data)
+    while view:
+        view = view[os.write(fd, view):]
+
+
+# --------------------------------------------------------------------------
+# atomic replace
+# --------------------------------------------------------------------------
+
+
+def atomic_replace(
+    path: str | Path, data: bytes, *, fsync: bool | None = None,
+    site: str = "replace",
+) -> Path:
+    """Atomically publish ``data`` at ``path`` (old-or-new, never torn).
+
+    Temp file in the destination directory (same filesystem, so
+    ``os.replace`` is a rename), fsync'd before the rename, parent
+    directory fsync'd after — a crash at any instant leaves either the
+    previous content or the new content, plus at worst one ``.tmp-*``
+    file for the GC.  ``fsync=False`` skips both fsyncs for callers
+    whose artifact is rebuildable; ``None`` follows the global policy.
+    """
+    path = Path(path)
+    do_fsync = fsync_enabled() if fsync is None else fsync
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=TMP_PREFIX)
+    try:
+        try:
+            checked_write(fd, data, f"{site}:tmp-write")
+            if do_fsync:
+                # data + size suffice: the rename + dir fsync below make
+                # the entry itself durable
+                getattr(os, "fdatasync", os.fsync)(fd)
+        finally:
+            os.close(fd)
+        kill_point(f"{site}:pre-rename")
+        os.replace(tmp, path)
+        kill_point(f"{site}:post-rename")
+        if do_fsync:
+            fsync_dir(path.parent)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def atomic_replace_text(
+    path: str | Path, text: str, *, fsync: bool | None = None,
+    site: str = "replace",
+) -> Path:
+    return atomic_replace(path, text.encode("utf-8"), fsync=fsync, site=site)
+
+
+def publish_file(tmp: str | Path, dest: str | Path, *,
+                 fsync: bool | None = None) -> Path:
+    """Atomically move a fully-written temp file over ``dest``.
+
+    For writers that stream into their own temp file (e.g. trace
+    salvage): fsync the temp, rename, fsync the directory.
+    """
+    tmp, dest = Path(tmp), Path(dest)
+    do_fsync = fsync_enabled() if fsync is None else fsync
+    if do_fsync:
+        fd = os.open(tmp, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+    os.replace(tmp, dest)
+    if do_fsync:
+        fsync_dir(dest.parent)
+    return dest
+
+
+# --------------------------------------------------------------------------
+# advisory file locks
+# --------------------------------------------------------------------------
+
+
+class FileLock:
+    """Advisory exclusive lock on a dedicated lock file.
+
+    ``with FileLock(root / ".lock"): ...`` serializes multi-step
+    read-modify-write sequences (manifest merges, tmp GC) across
+    processes sharing one artifact directory.  Locks are advisory —
+    every cooperating writer must take them — and vanish with the
+    process, so a crashed holder never wedges the directory.  On
+    platforms without ``fcntl`` the lock degrades to a no-op (single
+    process assumed).
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._fd: int | None = None
+
+    def acquire(self) -> "FileLock":
+        if self._fd is not None:
+            raise RuntimeError(f"lock {self.path} is already held")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+        if fcntl is not None:
+            fcntl.flock(self._fd, fcntl.LOCK_EX)
+        return self
+
+    def release(self) -> None:
+        fd, self._fd = self._fd, None
+        if fd is not None:
+            if fcntl is not None:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+            os.close(fd)
+
+    def __enter__(self) -> "FileLock":
+        return self.acquire()
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+
+# --------------------------------------------------------------------------
+# framed append-only journal
+# --------------------------------------------------------------------------
+
+FRAME_MAGIC = b"RJ"
+_FRAME_HEADER = struct.Struct("<2sII")  # magic, payload length, crc32
+
+#: upper bound on a single frame payload — anything larger in a scan is
+#: corruption, not a record
+MAX_FRAME_PAYLOAD = 16 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class JournalScan:
+    """Result of salvaging a journal's valid frame prefix."""
+
+    payloads: tuple[bytes, ...]
+    valid_bytes: int  # length of the provably-valid frame prefix
+    total_bytes: int  # file size at scan time
+
+    @property
+    def torn_bytes(self) -> int:
+        """Bytes after the valid prefix (a torn append, or corruption)."""
+        return self.total_bytes - self.valid_bytes
+
+
+def encode_frame(payload: bytes) -> bytes:
+    """One CRC+length-framed journal record."""
+    if len(payload) > MAX_FRAME_PAYLOAD:
+        raise ValueError(
+            f"journal payload of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_PAYLOAD}-byte frame limit"
+        )
+    return _FRAME_HEADER.pack(
+        FRAME_MAGIC, len(payload), zlib.crc32(payload)
+    ) + payload
+
+
+def scan_frames(blob: bytes) -> JournalScan:
+    """Salvage the valid frame prefix of raw journal bytes.
+
+    Scanning stops at the first frame that is short, mis-magic'd,
+    implausibly long or CRC-mismatched; everything before it is intact
+    (old-or-new at record granularity, never a partial record).
+    """
+    payloads: list[bytes] = []
+    offset = 0
+    size = len(blob)
+    while size - offset >= _FRAME_HEADER.size:
+        magic, length, crc = _FRAME_HEADER.unpack_from(blob, offset)
+        if magic != FRAME_MAGIC or length > MAX_FRAME_PAYLOAD:
+            break
+        start = offset + _FRAME_HEADER.size
+        end = start + length
+        if end > size:
+            break  # torn tail: the append died mid-frame
+        payload = blob[start:end]
+        if zlib.crc32(payload) != crc:
+            break
+        payloads.append(payload)
+        offset = end
+    return JournalScan(tuple(payloads), offset, size)
+
+
+class FramedJournal:
+    """Append-only, multi-process-safe, torn-tail-tolerant record log.
+
+    Each :meth:`append` writes one frame with a single ``write(2)`` on
+    an ``O_APPEND`` descriptor while holding an exclusive ``flock`` on
+    the journal file, so concurrent executors sharing a cache directory
+    interleave at frame granularity — never inside a record.  The
+    descriptor is opened per append: journals see a few appends per
+    simulation point, and a persistent handle would pin the inode a
+    concurrent :meth:`reset` replaces.
+
+    **Group commit**: with ``sync_interval_s > 0`` appends flush
+    (``fdatasync``) only when the last flush is older than the
+    interval; :meth:`sync` forces the flush at sweep end.  Frames are
+    CRC'd, so a crash inside the window costs at most the *unsynced
+    suffix* of records (each one recomputable) — never consistency:
+    recovery still sees a valid frame prefix.  ``sync_interval_s=0``
+    flushes every append.
+    """
+
+    def __init__(
+        self, path: str | Path, *, site: str = "journal",
+        sync_interval_s: float = 0.0,
+    ):
+        self.path = Path(path)
+        self.site = site
+        self.sync_interval_s = sync_interval_s
+        self._last_sync: float | None = None
+        self._dirty = False
+
+    def _sync_due(self, fsync: bool | None) -> bool:
+        if fsync is not None:
+            return fsync
+        if not fsync_enabled():
+            return False
+        if self.sync_interval_s <= 0 or self._last_sync is None:
+            return True
+        return time.monotonic() - self._last_sync >= self.sync_interval_s
+
+    def append(self, payload: bytes, *, fsync: bool | None = None) -> None:
+        frame = encode_frame(payload)
+        do_sync = self._sync_due(fsync)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd = os.open(self.path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+        try:
+            if fcntl is not None:
+                fcntl.flock(fd, fcntl.LOCK_EX)
+            try:
+                checked_write(fd, frame, f"{self.site}:append")
+                if do_sync:
+                    getattr(os, "fdatasync", os.fsync)(fd)
+            finally:
+                if fcntl is not None:
+                    fcntl.flock(fd, fcntl.LOCK_UN)
+        finally:
+            os.close(fd)
+        if do_sync:
+            self._last_sync = time.monotonic()
+            self._dirty = False
+        else:
+            self._dirty = True
+        kill_point(f"{self.site}:post-append")
+
+    def sync(self) -> None:
+        """Flush any appends the group-commit window deferred."""
+        if not self._dirty:
+            return
+        try:
+            fd = os.open(self.path, os.O_WRONLY)
+        except OSError:  # reset/GC'd underneath us: nothing to flush
+            return
+        try:
+            fdatasync_fd(fd)
+        finally:
+            os.close(fd)
+        self._last_sync = time.monotonic()
+        self._dirty = False
+
+    def scan(self) -> JournalScan:
+        """Salvage the valid frame prefix (missing file = empty journal)."""
+        try:
+            blob = self.path.read_bytes()
+        except OSError:
+            return JournalScan((), 0, 0)
+        return scan_frames(blob)
+
+    def iter_payloads(self) -> Iterator[bytes]:
+        return iter(self.scan().payloads)
+
+    def reset(self) -> None:
+        """Atomically restart the journal empty (a fresh run owns it)."""
+        atomic_replace(self.path, b"", site=f"{self.site}:reset")
+        # the replace made the empty journal durable: the group-commit
+        # window opens here, not at the first append
+        self._last_sync = time.monotonic()
+        self._dirty = False
+
+    def repair(self) -> int:
+        """Truncate any torn tail off; returns the bytes dropped.
+
+        Runs under the journal lock so a concurrent append cannot land
+        between the scan and the truncate.
+        """
+        fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+        try:
+            if fcntl is not None:
+                fcntl.flock(fd, fcntl.LOCK_EX)
+            try:
+                size = os.fstat(fd).st_size
+                blob = os.pread(fd, size, 0)
+                scanned = scan_frames(blob)
+                dropped = scanned.torn_bytes
+                if dropped:
+                    os.ftruncate(fd, scanned.valid_bytes)
+                    fsync_fd(fd)
+                return dropped
+            finally:
+                if fcntl is not None:
+                    fcntl.flock(fd, fcntl.LOCK_UN)
+        finally:
+            os.close(fd)
+
+
+# --------------------------------------------------------------------------
+# stale temp-file GC
+# --------------------------------------------------------------------------
+
+
+def collect_stale_tmps(
+    root: str | Path, min_age_seconds: float, *, now: float | None = None
+) -> list[Path]:
+    """``.tmp-*`` files under ``root`` older than ``min_age_seconds``.
+
+    The age gate keeps a live writer's in-flight temp file safe: only
+    residue plausibly orphaned by a dead process qualifies.  Sorted for
+    deterministic reports.
+    """
+    root = Path(root)
+    if not root.is_dir():
+        return []
+    if now is None:
+        import time
+
+        now = time.time()
+    stale = []
+    for path in sorted(root.rglob(f"{TMP_PREFIX}*")):
+        try:
+            if path.is_file() and now - path.stat().st_mtime >= min_age_seconds:
+                stale.append(path)
+        except OSError:
+            continue  # raced with another GC / the owning writer
+    return stale
+
+
+def gc_stale_tmps(
+    root: str | Path, min_age_seconds: float, *, now: float | None = None
+) -> list[Path]:
+    """Delete stale ``.tmp-*`` residue under ``root`` (lock-held).
+
+    Returns the paths reclaimed.  The directory lock serializes
+    concurrent GC sweeps; the age gate protects live writers.
+    """
+    root = Path(root)
+    if not root.is_dir():
+        return []
+    reclaimed = []
+    with FileLock(root / ".lock"):
+        for path in collect_stale_tmps(root, min_age_seconds, now=now):
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            reclaimed.append(path)
+    return reclaimed

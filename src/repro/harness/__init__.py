@@ -2,7 +2,7 @@
 parallel fault-tolerant execution and the on-disk result cache."""
 
 from .charts import chartable, render_bars
-from .checkpoint import Checkpoint
+from .checkpoint import CHECKPOINT_NAME, Checkpoint
 from .executor import (
     Executor,
     Manifest,
@@ -20,7 +20,7 @@ from .experiments import (
     run_experiment,
     set_executor,
 )
-from .faultinject import FaultPlan
+from .faultinject import FaultPlan, KillPlan, hash_draw
 from .multiseed import SeedStats, aggregate_normalized, multiseed_table
 from .result_cache import ResultCache, default_cache_dir, point_key
 from .shapes import ShapeCheck, run_checks
@@ -28,9 +28,12 @@ from .sweep import SweepPoint, series, sweep
 from .tables import TextTable
 
 __all__ = [
+    "CHECKPOINT_NAME",
     "Checkpoint",
     "Executor",
     "FaultPlan",
+    "KillPlan",
+    "hash_draw",
     "Experiment",
     "Manifest",
     "ResultCache",

@@ -1,12 +1,27 @@
 """Crash-recovery checkpoints for interrupted sweeps.
 
-A :class:`Checkpoint` is an append-only JSONL journal the executor
-updates as each simulation point settles: one line per point with its
-key, final status (``hit``/``miss``/``computed``/``retried``/``timeout``/
+A :class:`Checkpoint` is an append-only journal the executor updates as
+each simulation point settles: one record per point with its key, final
+status (``hit``/``miss``/``computed``/``retried``/``timeout``/
 ``failed``), attempt count and timing.  Appends happen in *completion*
 order — the journal is a recovery artifact, not a diffable output, and
 the diffable outputs (tables, manifest entries) stay in submission
 order regardless.
+
+Records are JSON payloads inside CRC+length frames
+(:class:`repro.common.durable.FramedJournal`), so the journal is:
+
+* **torn-tail tolerant** — a crash mid-append leaves at most one
+  partial frame, which :meth:`Checkpoint._load` (a salvage scan)
+  silently drops; every surviving record is bit-exact or absent, never
+  garbled.  The dropped-byte count is surfaced as :attr:`torn_bytes`.
+* **multi-process safe** — each append is a single ``write(2)`` on an
+  ``O_APPEND`` descriptor under ``flock``, so concurrent executors
+  sharing one cache directory interleave at record granularity.
+
+Journals written before the framed format (plain JSONL) still load:
+a journal that does not start with the frame magic falls back to
+line-oriented parsing with the same skip-torn-tail semantics.
 
 Recovery semantics on ``--resume``:
 
@@ -18,15 +33,23 @@ Recovery semantics on ``--resume``:
   is set, so a resumed sweep does not pay the timeout/retry budget for
   a known-bad point all over again.  Without ``keep_going`` they are
   re-attempted — a resume is an explicit request to try again.
-
-Writes are line-buffered appends from a single harness process; a crash
-mid-line leaves at most one truncated record, which :meth:`load` skips.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
+
+from ..common import durable
+
+#: filename of the framed checkpoint journal inside a cache directory
+CHECKPOINT_NAME = "checkpoint.rjl"
+
+#: group-commit window for journal appends: records inside the window
+#: share one fdatasync; a crash forfeits at most the window's worth of
+#: (recomputable) records, never journal consistency.  The executor
+#: flushes the window at sweep end.
+CHECKPOINT_SYNC_INTERVAL_S = 0.05
 
 #: statuses that mean "this point produced a result"
 COMPLETED_STATUSES = frozenset({"hit", "miss", "computed", "retried"})
@@ -40,24 +63,50 @@ class Checkpoint:
 
     def __init__(self, path: str | Path, *, resume: bool = False):
         self.path = Path(path)
+        self.journal = durable.FramedJournal(
+            self.path, site="checkpoint",
+            sync_interval_s=CHECKPOINT_SYNC_INTERVAL_S,
+        )
         self.entries: dict[str, dict] = {}
         self.resumed_from = 0
+        #: bytes of torn tail dropped while loading (0 on a clean journal)
+        self.torn_bytes = 0
+        self._legacy = False
         if resume:
             self.entries = self._load(self.path)
             self.resumed_from = len(self.entries)
+            if self._legacy:
+                # migrate a pre-framed JSONL journal: rewrite the loaded
+                # records as frames, else appended frames would land
+                # after (and be garbled by) line-oriented text
+                self.journal.reset()
+                for record in self.entries.values():
+                    self.journal.append(
+                        json.dumps(record, sort_keys=True).encode("utf-8")
+                    )
+            elif self.torn_bytes:
+                # truncate the torn tail *before* appending: frames
+                # written after garbage would be unreachable to a scan
+                self.journal.repair()
         else:
             # a fresh run owns the journal: start it empty
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            self.path.write_text("")
+            self.journal.reset()
 
-    @staticmethod
-    def _load(path: Path) -> dict[str, dict]:
-        entries: dict[str, dict] = {}
+    def _load(self, path: Path) -> dict[str, dict]:
         try:
-            text = path.read_text()
+            blob = path.read_bytes()
         except OSError:
-            return entries
-        for line in text.splitlines():
+            return {}
+        if blob.startswith(durable.FRAME_MAGIC) or not blob:
+            scanned = durable.scan_frames(blob)
+            self.torn_bytes = scanned.torn_bytes
+            lines: list[bytes] = list(scanned.payloads)
+        else:
+            # legacy JSONL journal from a pre-framed harness version
+            self._legacy = True
+            lines = blob.splitlines()
+        entries: dict[str, dict] = {}
+        for line in lines:
             line = line.strip()
             if not line:
                 continue
@@ -93,9 +142,11 @@ class Checkpoint:
         if error is not None:
             record["error"] = error
         self.entries[key] = record
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        with self.path.open("a") as handle:
-            handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self.journal.append(json.dumps(record, sort_keys=True).encode("utf-8"))
+
+    def sync(self) -> None:
+        """Flush the group-commit window (the executor's sweep-end hook)."""
+        self.journal.sync()
 
     # -- queries ---------------------------------------------------------
 

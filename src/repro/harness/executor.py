@@ -47,6 +47,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Sequence
 
+from ..common import durable
 from ..common.config import ProtocolKind, SystemConfig
 from ..common.errors import (
     ConfigError,
@@ -63,7 +64,7 @@ from ..synth.base import generate
 from ..trace.program import Program, ProgramStats
 from ..trace.validate import validate_program
 from .checkpoint import Checkpoint
-from .faultinject import FaultPlan, apply_worker_fault
+from .faultinject import FaultPlan, apply_worker_fault, hash_draw
 from .result_cache import ResultCache, point_key, stats_key
 
 
@@ -298,13 +299,62 @@ class Manifest:
             "entries": [e.to_dict() for e in self.entries],
         }
 
+    @staticmethod
+    def _status_counts(entries: list[dict]) -> dict:
+        statuses = [e.get("status") for e in entries]
+        return {
+            "points": len(entries),
+            "hits": sum(s == "hit" for s in statuses),
+            "misses": sum(s in ("miss", "computed", "retried") for s in statuses),
+            "retried": sum(s == "retried" for s in statuses),
+            "timeouts": sum(s == "timeout" for s in statuses),
+            "failed": sum(s in ("timeout", "failed") for s in statuses),
+            "seconds": round(sum(e.get("seconds", 0.0) for e in entries), 6),
+        }
+
     def write(self, path: str | Path) -> Path:
         import json
 
+        return durable.atomic_replace_text(
+            path, json.dumps(self.to_dict(), indent=2) + "\n", site="manifest"
+        )
+
+    def write_merged(self, path: str | Path) -> Path:
+        """Publish this run's manifest, merging in a prior one at ``path``.
+
+        Concurrent executors sharing one cache directory each write the
+        manifest at sweep end; without merging, the last writer would
+        silently erase every other run's audit trail.  Under the
+        directory lock, entries from the existing manifest whose keys
+        this run did not settle are preserved (this run's record wins on
+        overlap), counts are recomputed over the merged entry list, and
+        a ``runs`` counter tracks how many sweeps contributed.
+        """
+        import json
+
         path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
-        return path
+        with durable.FileLock(path.parent / ".lock"):
+            try:
+                previous = json.loads(path.read_text())
+                if not isinstance(previous, dict):
+                    previous = None
+            except (OSError, ValueError):
+                previous = None
+            data = self.to_dict()
+            data["runs"] = 1
+            if previous is not None:
+                ours = {e["key"] for e in data["entries"]}
+                kept = [
+                    e for e in previous.get("entries", [])
+                    if isinstance(e, dict) and e.get("key") not in ours
+                ]
+                data["entries"] = kept + data["entries"]
+                data.update(self._status_counts(data["entries"]))
+                data["corrupt_evictions"] += previous.get("corrupt_evictions", 0)
+                data["runs"] = previous.get("runs", 1) + 1
+            return durable.atomic_replace_text(
+                path, json.dumps(data, indent=2) + "\n", site="manifest"
+            )
 
 
 # --------------------------------------------------------------------------
@@ -342,8 +392,9 @@ class Executor:
         process isolation, so a pool is used even at ``jobs=1``.
     ``retries`` / ``backoff``
         Transient failures (worker crash, pool breakage, pickle errors)
-        are resubmitted up to ``retries`` times, sleeping
-        ``backoff * 2**(attempt-1)`` seconds in between.
+        are resubmitted up to ``retries`` times, sleeping a
+        deterministically-jittered slice of ``backoff * 2**(attempt-1)``
+        seconds in between (see :meth:`_backoff_for`).
     ``keep_going``
         Terminally failed points yield :class:`PointFailure` records at
         their index instead of raising; the sweep completes partially.
@@ -500,6 +551,8 @@ class Executor:
                     self.manifest.record(*record)
             if self.cache is not None:
                 self.manifest.corrupt_evictions = self.cache.stats.discarded
+            if self.checkpoint is not None:
+                self.checkpoint.sync()  # close the group-commit window
 
         return results  # type: ignore[return-value]
 
@@ -624,8 +677,20 @@ class Executor:
             return "error", True
         return "error", False
 
-    def _backoff_for(self, attempt: int) -> float:
-        return self.backoff * (2 ** max(attempt - 1, 0))
+    def _backoff_for(self, key: str, attempt: int) -> float:
+        """Deterministic full-jitter backoff for this (point, attempt).
+
+        Plain exponential backoff is lockstep: workers that crash
+        together retry together, re-colliding on whatever resource broke
+        them.  Full jitter draws the sleep uniformly from [0, cap) with
+        ``cap = backoff * 2**(attempt-1)`` — but seeded per (key,
+        attempt) via :func:`~repro.harness.faultinject.hash_draw`, the
+        same discipline as ``FaultPlan._draw``, so retry storms
+        desynchronize *and* identical runs sleep identically (sweep
+        output stays byte-reproducible under chaos).
+        """
+        cap = self.backoff * (2 ** max(attempt - 1, 0))
+        return cap * hash_draw(0, "backoff", key, attempt)
 
     # -- serial path -----------------------------------------------------
 
@@ -645,7 +710,7 @@ class Executor:
                     slot.spent += time.perf_counter() - start
                     kind, retryable = self._classify(exc)
                     if retryable and slot.attempts <= self.retries:
-                        time.sleep(self._backoff_for(slot.attempts))
+                        time.sleep(self._backoff_for(slot.key, slot.attempts))
                         continue
                     self._settle_failure(
                         slot, kind, f"{type(exc).__name__}: {exc}",
@@ -690,7 +755,9 @@ class Executor:
 
         def requeue_crash(slot: _Slot, message: str) -> None:
             if slot.attempts <= self.retries:
-                slot.due = time.monotonic() + self._backoff_for(slot.attempts)
+                slot.due = time.monotonic() + self._backoff_for(
+                    slot.key, slot.attempts
+                )
                 delayed.append(slot)
             else:
                 self._settle_failure(slot, "crash", message, results, records)
@@ -734,7 +801,7 @@ class Executor:
                     kind, retryable = self._classify(exc)
                     if retryable and slot.attempts <= self.retries:
                         slot.due = time.monotonic() + self._backoff_for(
-                            slot.attempts
+                            slot.key, slot.attempts
                         )
                         delayed.append(slot)
                     else:
@@ -783,7 +850,7 @@ class Executor:
             hung = True
             slot.spent += self.point_timeout or 0.0
             if slot.attempts <= self.retries:
-                slot.due = now + self._backoff_for(slot.attempts)
+                slot.due = now + self._backoff_for(slot.key, slot.attempts)
                 delayed.append(slot)
             else:
                 self._settle_failure(

@@ -28,11 +28,25 @@ import pickle
 import time
 from dataclasses import dataclass, fields
 
+from ..common import durable
 from ..common.errors import ConfigError, WorkerCrashError
 
 #: exit status an injected crash kills the worker with (shows up in
 #: ``BrokenProcessPool`` messages, handy when debugging chaos runs)
 CRASH_EXIT_STATUS = 37
+
+
+def hash_draw(seed: int, *parts: object) -> float:
+    """Uniform [0, 1) draw, a pure function of its arguments.
+
+    The one source of chaos randomness: every fault decision — and the
+    executor's retry-backoff jitter — is a SHA-256 hash of a seed plus
+    discriminating parts, never global RNG state, so identical runs
+    draw identical chaos and retries desynchronize deterministically.
+    """
+    text = ":".join([str(seed), *map(str, parts)])
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
 
 
 @dataclass(frozen=True)
@@ -64,10 +78,7 @@ class FaultPlan:
 
     def _draw(self, kind: str, key: str, attempt: int) -> float:
         """Uniform [0, 1) draw, a pure function of (seed, kind, key, attempt)."""
-        digest = hashlib.sha256(
-            f"{self.seed}:{kind}:{key}:{attempt}".encode("ascii")
-        ).digest()
-        return int.from_bytes(digest[:8], "big") / 2**64
+        return hash_draw(self.seed, kind, key, attempt)
 
     def decide(self, key: str, attempt: int) -> str | None:
         """Worker-side fault for this (point, attempt), or None.
@@ -145,6 +156,115 @@ class FaultPlan:
             value = getattr(self, f.name)
             if f.name != "seed" and value:
                 parts.append(f"{f.name}={value:g}")
+        return ",".join(parts)
+
+
+# --------------------------------------------------------------------------
+# kill points: crash / torn-write injection inside the durability layer
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class KillPlan:
+    """Seeded schedule of crashes and torn writes at durable-write sites.
+
+    The durability layer (:mod:`repro.common.durable`) names every
+    write site (``cache-entry:tmp-write``, ``checkpoint:append``,
+    ``manifest:pre-rename``, ...) and consults the installed hook
+    there.  A fired site either kills the process outright
+    (``os._exit`` — the SIGKILL / power-cut shape) or *tears* the
+    write at a seeded byte and then dies.  Decisions hash
+    ``(seed, kind, site, occurrence-index)`` exactly like
+    :meth:`FaultPlan._draw`, so a given seed kills the same run at the
+    same byte every time — which is what lets the chaos property suite
+    assert *old-or-new, never garbage* recovery for every seed.
+
+    ``sites`` optionally restricts firing to sites containing the given
+    substring (e.g. ``sites=cache-entry`` to only tear cache stores).
+    Plans activate from ``$REPRO_KILLPOINTS`` (see :meth:`install`), so
+    harness subprocesses and forked workers inherit them.
+    """
+
+    seed: int = 0
+    rate: float = 0.05
+    tear_rate: float = 0.5
+    sites: str = ""
+
+    def __post_init__(self):
+        for name in ("rate", "tear_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(f"{name} must be in [0, 1], got {value}")
+
+    def hook(self) -> durable.KillHook:
+        """A stateful hook for :func:`repro.common.durable.set_kill_hook`.
+
+        Occurrence counters are per returned hook (one per process), so
+        the Nth visit to a site draws the same fate in every run with a
+        deterministic write sequence.
+        """
+        counters: dict[str, int] = {}
+
+        def decide(site: str, length: int):
+            if self.sites and self.sites not in site:
+                return None
+            index = counters.get(site, 0)
+            counters[site] = index + 1
+            if hash_draw(self.seed, "fire", site, index) >= self.rate:
+                return None
+            if length > 0 and (
+                hash_draw(self.seed, "tear", site, index) < self.tear_rate
+            ):
+                cut = int(hash_draw(self.seed, "cut", site, index) * length)
+                return ("tear", cut)
+            return ("kill",)
+
+        return decide
+
+    def install(self) -> None:
+        """Arm this plan in-process and in every future child process."""
+        os.environ[durable.KILLPOINT_ENV] = self.describe()
+        durable.set_kill_hook(self.hook())
+
+    @classmethod
+    def parse(cls, spec: str) -> "KillPlan":
+        """Build a plan from ``k=v`` pairs: ``seed=7,rate=0.1,tear=0.5``."""
+        aliases = {
+            "seed": "seed",
+            "rate": "rate",
+            "tear": "tear_rate",
+            "tear_rate": "tear_rate",
+            "sites": "sites",
+        }
+        kwargs: dict[str, object] = {}
+        for part in filter(None, (p.strip() for p in spec.split(","))):
+            if "=" not in part:
+                raise ConfigError(f"bad kill spec item {part!r} (expected k=v)")
+            raw_key, _, raw_value = part.partition("=")
+            field = aliases.get(raw_key.strip())
+            if field is None:
+                raise ConfigError(
+                    f"unknown kill spec key {raw_key.strip()!r}; "
+                    f"known: {sorted(set(aliases))}"
+                )
+            try:
+                if field == "seed":
+                    kwargs[field] = int(raw_value)
+                elif field == "sites":
+                    kwargs[field] = raw_value.strip()
+                else:
+                    kwargs[field] = float(raw_value)
+            except ValueError:
+                raise ConfigError(
+                    f"bad kill spec value {raw_value!r} for {raw_key.strip()!r}"
+                ) from None
+        return cls(**kwargs)  # type: ignore[arg-type]
+
+    def describe(self) -> str:
+        parts = [f"seed={self.seed}", f"rate={self.rate:g}",
+                 f"tear={self.tear_rate:g}"]
+        if self.sites:
+            parts.append(f"sites={self.sites}")
         return ",".join(parts)
 
 

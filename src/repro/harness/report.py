@@ -15,6 +15,7 @@ import sys
 import time
 from pathlib import Path
 
+from ..common import durable
 from ..common.errors import HarnessError
 from .executor import Executor
 from .experiments import REGISTRY, Settings, run_experiment, set_executor
@@ -148,7 +149,7 @@ def main(argv: list[str] | None = None) -> int:
         executor.close()
     if cache is not None:
         executor.manifest.write(cache.root / "manifest.json")
-    args.out.write_text(report)
+    durable.atomic_replace_text(args.out, report, site="report")
     print(f"wrote {args.out} ({len(report.splitlines())} lines)")
     return 0
 

@@ -12,9 +12,14 @@ truncated, corrupted or stale-schema entry is *discarded and recomputed*
 — the cache can serve wrong-looking bytes only by producing a checksum
 collision, never by trusting them.
 
-Writes are atomic (temp file + ``os.replace``), so concurrent workers
-and concurrent harness invocations can share one cache directory.  The
-default location is ``~/.cache/repro`` (``$REPRO_CACHE_DIR`` and
+Stores go through the crash-consistent replace discipline
+(:func:`repro.common.durable.atomic_replace`: same-directory temp file,
+fsync, rename, parent-dir fsync), so concurrent workers and concurrent
+harness invocations can share one cache directory and a crash at any
+byte leaves old-or-new entries, never torn ones.  The worst crash
+residue is an orphaned ``.tmp-*`` file, which :meth:`ResultCache.open`
+reclaims with an age-gated, lock-held GC sweep on startup.  The default
+location is ``~/.cache/repro`` (``$REPRO_CACHE_DIR`` and
 ``$XDG_CACHE_HOME`` are honored).
 """
 
@@ -24,11 +29,11 @@ import hashlib
 import json
 import os
 import pickle
-import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 
 from .. import __version__
+from ..common import durable
 from ..common.config import SystemConfig, config_fingerprint
 from ..core.results import RunResult
 
@@ -38,6 +43,10 @@ CACHE_SCHEMA = 1
 #: version salt folded into every key: a new package or schema version
 #: invalidates the whole cache rather than serving stale results
 CACHE_SALT = f"repro/{__version__}/schema{CACHE_SCHEMA}"
+
+#: ``.tmp-*`` residue younger than this (seconds) is presumed to belong
+#: to a live writer and survives the startup GC sweep
+TMP_GC_AGE_SECONDS = 3600.0
 
 
 def default_cache_dir() -> Path:
@@ -98,6 +107,7 @@ class CacheStats:
     misses: int = 0
     stores: int = 0
     discarded: int = 0
+    tmp_reclaimed: int = 0
 
     @property
     def corrupt_evictions(self) -> int:
@@ -116,6 +126,35 @@ class ResultCache:
     def __init__(self, root: str | Path | None = None):
         self.root = Path(root) if root is not None else default_cache_dir()
         self.stats = CacheStats()
+
+    @classmethod
+    def open(
+        cls, root: str | Path | None = None, *,
+        gc_tmp_age: float = TMP_GC_AGE_SECONDS,
+    ) -> "ResultCache":
+        """A cache with startup housekeeping: GC orphaned ``.tmp-*`` files.
+
+        A worker killed between ``mkstemp`` and ``os.replace`` leaves its
+        temp file behind; this sweep (age-gated so live writers' in-flight
+        files survive, lock-held so concurrent opens don't race) reclaims
+        that residue.  The count lands in ``stats.tmp_reclaimed``.
+        """
+        cache = cls(root)
+        cache.stats.tmp_reclaimed += len(
+            durable.gc_stale_tmps(cache.root, gc_tmp_age)
+        )
+        return cache
+
+    def gc_stale_tmps(self, min_age_seconds: float = TMP_GC_AGE_SECONDS,
+                      *, now: float | None = None) -> list[Path]:
+        """Reclaim orphaned ``.tmp-*`` residue under this cache root."""
+        reclaimed = durable.gc_stale_tmps(self.root, min_age_seconds, now=now)
+        self.stats.tmp_reclaimed += len(reclaimed)
+        return reclaimed
+
+    def lock(self) -> durable.FileLock:
+        """The advisory lock serializing multi-step updates to this cache."""
+        return durable.FileLock(self.root / ".lock")
 
     def path_for(self, key: str) -> Path:
         return self.root / key[:2] / f"{key[2:]}.pkl"
@@ -156,25 +195,19 @@ class ResultCache:
         return result
 
     def put(self, key: str, result) -> None:
-        """Store a picklable payload atomically under ``key``."""
+        """Store a picklable payload atomically under ``key``.
+
+        The durable replace (fsync'd temp + rename + dir fsync) means a
+        concurrent reader — or a crash at any byte — sees the previous
+        entry or the complete new one, never a torn mix.
+        """
         path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         payload = pickle.dumps(
             {"key": key, "salt": CACHE_SALT, "result": result},
             protocol=pickle.HIGHEST_PROTOCOL,
         )
         blob = hashlib.sha256(payload).hexdigest().encode("ascii") + b"\n" + payload
-        fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".tmp-")
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                handle.write(blob)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        durable.atomic_replace(path, blob, site="cache-entry")
         self.stats.stores += 1
 
     def corrupt_entry(self, key: str) -> bool:
@@ -191,5 +224,5 @@ class ResultCache:
             return False
         if not blob:
             return False
-        path.write_bytes(blob[:-1] + bytes([blob[-1] ^ 0xFF]))
+        path.write_bytes(blob[:-1] + bytes([blob[-1] ^ 0xFF]))  # detlint: ok
         return True

@@ -37,7 +37,7 @@ from dataclasses import replace
 from ..common.errors import HarnessError
 from ..core.batch import ENGINE_ENV, ENGINES
 from .charts import chartable, render_bars
-from .checkpoint import Checkpoint
+from .checkpoint import CHECKPOINT_NAME, Checkpoint
 from .executor import Executor
 from .experiments import REGISTRY, Settings, run_experiment, set_executor
 from .faultinject import FaultPlan
@@ -117,11 +117,18 @@ def _build_settings(args: argparse.Namespace) -> Settings:
 def _build_executor(args: argparse.Namespace) -> Executor:
     cache = None
     if not args.no_cache:
-        cache = ResultCache(args.cache_dir or default_cache_dir())
+        # .open() sweeps stale .tmp-* residue a crashed writer left behind
+        cache = ResultCache.open(args.cache_dir or default_cache_dir())
+        if cache.stats.tmp_reclaimed:
+            print(
+                f"[cache: reclaimed {cache.stats.tmp_reclaimed} stale "
+                "tmp file(s) from a previous crash]",
+                file=sys.stderr,
+            )
     checkpoint = None
     if cache is not None:
         checkpoint = Checkpoint(
-            cache.root / "checkpoint.jsonl", resume=args.resume
+            cache.root / CHECKPOINT_NAME, resume=args.resume
         )
         if args.resume:
             summary = checkpoint.summary()
@@ -131,6 +138,12 @@ def _build_executor(args: argparse.Namespace) -> Executor:
                 f"{summary['path']}]",
                 file=sys.stderr,
             )
+            if checkpoint.torn_bytes:
+                print(
+                    f"[resume: dropped {checkpoint.torn_bytes} torn "
+                    "byte(s) from the checkpoint tail]",
+                    file=sys.stderr,
+                )
     plan = None
     if args.inject_faults:
         plan = FaultPlan.parse(args.inject_faults)
@@ -303,7 +316,9 @@ def main(argv: list[str] | None = None) -> int:
         summary += f" timeouts={manifest.timeouts} failed={manifest.failed}"
     if executor.cache is not None:
         summary += f" corrupt_evictions={manifest.corrupt_evictions}"
-        path = manifest.write(executor.cache.root / "manifest.json")
+        # merge-write: concurrent sweeps sharing this cache dir each
+        # land their entries without erasing the others' audit trail
+        path = manifest.write_merged(executor.cache.root / "manifest.json")
         summary += f" manifest={path}"
     print(summary + "]", file=sys.stderr)
     for failure in executor.point_failures:

@@ -20,6 +20,17 @@ seeds.  Two patterns silently break that:
   aggregate reports depend on the machine.  A call anywhere inside a
   ``sorted(...)`` argument is blessed.
 
+One robustness rule rides along, scoped to the modules that persist
+durable artifacts (``harness/`` and ``tools/``):
+
+* **ROB004 — bare write to a durable artifact**.  ``open(path, "w")``,
+  ``Path.open("w")`` and ``Path.write_text``/``write_bytes`` leave a
+  torn file if the process dies mid-write; caches, manifests, journals
+  and reports must go through ``repro.common.durable`` —
+  ``atomic_replace`` for replace-the-whole-file artifacts, a
+  ``FramedJournal`` for appends.  Writes that are genuinely transient
+  (test fixtures, deliberate corruption helpers) carry the pragma.
+
 The checker is intentionally conservative: it flags only iterables it
 can *prove* are sets — set literals/comprehensions, ``set()`` /
 ``frozenset()`` calls, names and ``self`` attributes assigned or
@@ -186,6 +197,42 @@ def _fs_iteration(node: ast.Call) -> str | None:
     return None
 
 
+#: file-path parts that mark a module as writing durable artifacts —
+#: the ROB004 scope (the simulation core writes nothing durable)
+_DURABLE_SCOPES = ("harness", "tools")
+
+#: write-capable file modes (any mode that can truncate or extend)
+def _is_write_mode(node: ast.expr | None) -> bool:
+    return (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, str)
+        and any(c in node.value for c in "wa+x")
+    )
+
+
+def _bare_write(node: ast.Call) -> str | None:
+    """The spelling of a tearable file write, or None."""
+    func = node.func
+    if isinstance(func, ast.Name) and func.id == "open":
+        mode = node.args[1] if len(node.args) > 1 else next(
+            (kw.value for kw in node.keywords if kw.arg == "mode"), None
+        )
+        if _is_write_mode(mode):
+            return f'open(..., "{mode.value}")'
+        return None
+    if not isinstance(func, ast.Attribute):
+        return None
+    if func.attr in ("write_text", "write_bytes"):
+        return f".{func.attr}()"
+    if func.attr == "open":
+        mode = node.args[0] if node.args else next(
+            (kw.value for kw in node.keywords if kw.arg == "mode"), None
+        )
+        if _is_write_mode(mode):
+            return f'.open("{mode.value}")'
+    return None
+
+
 class _IterationChecker(ast.NodeVisitor):
     """Second pass: flag set iteration, id() calls and unsorted fs walks."""
 
@@ -193,6 +240,9 @@ class _IterationChecker(ast.NodeVisitor):
         self.filename = filename
         self.kinds = kinds
         self.findings: list[Finding] = []
+        self.durable_scope = any(
+            part in _DURABLE_SCOPES for part in Path(filename).parts
+        )
 
     def _kind_of(self, node: ast.expr) -> str | None:
         if _is_set_display(node):
@@ -253,6 +303,17 @@ class _IterationChecker(ast.NodeVisitor):
                 f"unsorted filesystem iteration ({name}): directory order "
                 "is OS-dependent — wrap in sorted(...)",
             ))
+        if self.durable_scope:
+            spelling = _bare_write(node)
+            if spelling is not None:
+                self.findings.append(Finding(
+                    self.filename,
+                    node.lineno,
+                    "ROB004",
+                    f"bare file write ({spelling}) in a durable-artifact "
+                    "module: a crash mid-write tears it — use "
+                    "repro.common.durable.atomic_replace or a FramedJournal",
+                ))
         self.generic_visit(node)
 
 

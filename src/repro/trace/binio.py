@@ -41,7 +41,10 @@ from __future__ import annotations
 
 import io
 import json
+import os
+import tempfile
 import zlib
+from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
@@ -167,6 +170,51 @@ def _read_varint_scalar(fh) -> int:
         shift += 7
         if shift > 63:
             raise TraceError("binio: varint longer than 10 bytes")
+
+
+# --------------------------------------------------------------------------
+# header parsing
+# --------------------------------------------------------------------------
+
+
+def _parse_header(fh, path) -> dict:
+    """Parse and validate an ``.rtb`` header, returning its metadata.
+
+    Strict: a file whose *header* is damaged carries no trustworthy
+    thread count or name, so neither reading nor salvage can proceed.
+    """
+    magic = fh.read(len(MAGIC))
+    if magic != MAGIC:
+        raise TraceError(f"{path}: not a binio trace (bad magic)")
+    version_byte = fh.read(1)
+    if not version_byte:
+        raise TraceError(f"{path}: truncated header")
+    version = version_byte[0]
+    if version != FORMAT_VERSION:
+        raise TraceError(
+            f"{path}: binio format version {version} is not "
+            f"supported (this build reads version {FORMAT_VERSION}); "
+            "the file was probably written by a newer release"
+        )
+    meta_len = _read_varint_scalar(fh)
+    meta_raw = fh.read(meta_len)
+    if len(meta_raw) != meta_len:
+        raise TraceError(f"{path}: truncated header metadata")
+    try:
+        meta = json.loads(meta_raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise TraceError(f"{path}: corrupt header metadata") from exc
+    if meta.get("version") != FORMAT_VERSION:
+        raise TraceError(
+            f"{path}: header/metadata version mismatch "
+            f"({meta.get('version')!r})"
+        )
+    for key in ("name", "num_threads"):
+        if key not in meta:
+            raise TraceError(f"{path}: header metadata missing {key!r}")
+    if int(meta["num_threads"]) <= 0:
+        raise TraceError(f"{path}: non-positive thread count")
+    return meta
 
 
 # --------------------------------------------------------------------------
@@ -415,38 +463,7 @@ class BinTraceReader:
     # -- parsing -----------------------------------------------------------
 
     def _read_header(self) -> dict:
-        magic = self._fh.read(len(MAGIC))
-        if magic != MAGIC:
-            raise TraceError(f"{self.path}: not a binio trace (bad magic)")
-        version_byte = self._fh.read(1)
-        if not version_byte:
-            raise TraceError(f"{self.path}: truncated header")
-        version = version_byte[0]
-        if version != FORMAT_VERSION:
-            raise TraceError(
-                f"{self.path}: binio format version {version} is not "
-                f"supported (this build reads version {FORMAT_VERSION}); "
-                "the file was probably written by a newer release"
-            )
-        meta_len = _read_varint_scalar(self._fh)
-        meta_raw = self._fh.read(meta_len)
-        if len(meta_raw) != meta_len:
-            raise TraceError(f"{self.path}: truncated header metadata")
-        try:
-            meta = json.loads(meta_raw.decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            raise TraceError(f"{self.path}: corrupt header metadata") from exc
-        if meta.get("version") != FORMAT_VERSION:
-            raise TraceError(
-                f"{self.path}: header/metadata version mismatch "
-                f"({meta.get('version')!r})"
-            )
-        for key in ("name", "num_threads"):
-            if key not in meta:
-                raise TraceError(f"{self.path}: header metadata missing {key!r}")
-        if int(meta["num_threads"]) <= 0:
-            raise TraceError(f"{self.path}: non-positive thread count")
-        return meta
+        return _parse_header(self._fh, self.path)
 
     def _scan_chunks(self) -> dict:
         starts = [0] * self.num_threads
@@ -738,3 +755,184 @@ def stream_program_bin(path: str | Path) -> StreamedProgram:
     reader is garbage-collected); each call returns independent cursors.
     """
     return BinTraceReader(path).stream_program()
+
+
+# --------------------------------------------------------------------------
+# salvage: torn / truncated .rtb recovery
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SalvageReport:
+    """What a tolerant scan of an ``.rtb`` file found.
+
+    ``ok`` means the file is completely valid (every chunk CRC checks,
+    the footer is present, its counts match, nothing trails it) —
+    :class:`BinTraceReader` would accept it as-is.  Otherwise ``reason``
+    says why the scan stopped, and the chunk/event/byte figures describe
+    the *valid prefix* a :func:`salvage_rtb` rewrite would preserve.
+    """
+
+    path: str
+    ok: bool
+    reason: str
+    num_threads: int
+    chunks: int
+    events: int
+    valid_bytes: int
+    total_bytes: int
+
+    @property
+    def torn_bytes(self) -> int:
+        """Bytes after the last fully-valid chunk (dropped by salvage)."""
+        return self.total_bytes - self.valid_bytes
+
+
+def _tolerant_scan(path: Path, keep_events: bool):
+    """Decode the valid chunk prefix of an ``.rtb`` file.
+
+    Returns ``(report, meta, chunks, footer)`` where ``chunks`` is a
+    list of ``(tid, events)`` in file order (empty arrays when
+    ``keep_events`` is false — the scan still fully decodes each payload
+    to prove it valid, it just doesn't retain the result) and ``footer``
+    is the decoded footer dict when one was readable, else None.
+
+    A damaged *header* raises :class:`TraceError` — without a
+    trustworthy thread count there is no prefix worth salvaging.
+    """
+    total_bytes = path.stat().st_size
+    chunks: list[tuple[int, np.ndarray]] = []
+    footer = None
+    reason = ""
+    with open(path, "rb") as fh:
+        meta = _parse_header(fh, path)
+        num_threads = int(meta["num_threads"])
+        valid = fh.tell()
+        counts = [0] * num_threads
+        while True:
+            kind = fh.read(1)
+            if not kind:
+                reason = "no footer chunk (truncated mid-write)"
+                break
+            try:
+                if kind[0] == CHUNK_EVENTS:
+                    tid = _read_varint_scalar(fh)
+                    count = _read_varint_scalar(fh)
+                    length = _read_varint_scalar(fh)
+                    if not 0 <= tid < num_threads:
+                        raise TraceError(f"chunk for unknown tid {tid}")
+                    payload = fh.read(length)
+                    if len(payload) != length:
+                        raise TraceError("truncated chunk payload")
+                    crc_raw = fh.read(4)
+                    if len(crc_raw) != 4:
+                        raise TraceError("truncated chunk CRC")
+                    if zlib.crc32(payload) != int.from_bytes(crc_raw, "little"):
+                        raise TraceError("chunk CRC mismatch")
+                    events = _decode_events_payload(payload, count)
+                    counts[tid] += count
+                    chunks.append(
+                        (tid, events if keep_events
+                         else np.empty(0, dtype=EVENT_DTYPE))
+                    )
+                    valid = fh.tell()
+                elif kind[0] == CHUNK_FOOTER:
+                    length = _read_varint_scalar(fh)
+                    payload = fh.read(length)
+                    if len(payload) != length:
+                        raise TraceError("truncated footer")
+                    crc_raw = fh.read(4)
+                    if len(crc_raw) != 4:
+                        raise TraceError("truncated footer CRC")
+                    if zlib.crc32(payload) != int.from_bytes(crc_raw, "little"):
+                        raise TraceError("footer CRC mismatch")
+                    decoded = json.loads(zlib.decompress(payload).decode("utf-8"))
+                    promised = [int(c) for c in decoded.get("counts", ())]
+                    if promised != counts:
+                        raise TraceError(
+                            "footer event counts disagree with chunks"
+                        )
+                    footer = decoded
+                    valid = fh.tell()
+                    if fh.read(1):
+                        reason = "data after the footer"
+                    break
+                else:
+                    raise TraceError(f"unknown chunk type {kind[0]}")
+            except (TraceError, zlib.error, UnicodeDecodeError,
+                    json.JSONDecodeError) as exc:
+                reason = str(exc)
+                break
+    report = SalvageReport(
+        path=str(path),
+        ok=footer is not None and not reason,
+        reason=reason,
+        num_threads=num_threads,
+        chunks=len(chunks),
+        events=sum(counts),
+        valid_bytes=valid,
+        total_bytes=total_bytes,
+    )
+    return report, meta, chunks, footer
+
+
+def scan_rtb(path: str | Path) -> SalvageReport:
+    """Check an ``.rtb`` file, reporting its salvageable valid prefix.
+
+    Side-effect-free (the ``repro-fsck --check`` path).  Every chunk
+    payload is fully decoded — a CRC-valid chunk whose columns don't
+    decode still ends the valid prefix, so a salvage rewrite can never
+    carry damage forward.
+    """
+    report, _, _, _ = _tolerant_scan(Path(path), keep_events=False)
+    return report
+
+
+def salvage_rtb(src: str | Path, dest: str | Path | None = None) -> SalvageReport:
+    """Rewrite ``src``'s valid chunk prefix as a consistent ``.rtb``.
+
+    The recovered file is a complete, footer-terminated trace holding
+    every event of every chunk that decoded cleanly; the torn tail is
+    dropped.  Barrier participants are recomputed from the surviving
+    barrier events (merged with the original footer's map when that
+    footer was readable).  The rewrite streams into a temp file and is
+    published with the atomic-replace discipline, so ``dest`` — which
+    defaults to in-place repair of ``src`` — is never left torn in turn.
+
+    Returns the pre-rewrite :class:`SalvageReport`; when it says ``ok``
+    and the repair is in-place, the file is already consistent and is
+    left untouched.
+    """
+    src = Path(src)
+    report, meta, chunks, footer = _tolerant_scan(src, keep_events=True)
+    dest = src if dest is None else Path(dest)
+    if report.ok and dest == src:
+        return report
+    from ..common import durable
+
+    fd, tmp = tempfile.mkstemp(
+        dir=dest.parent, prefix=durable.TMP_PREFIX, suffix=".rtb"
+    )
+    os.close(fd)
+    try:
+        writer = BinTraceWriter(
+            tmp, report.num_threads, str(meta["name"])
+        )
+        try:
+            for tid, events in chunks:
+                writer.append(tid, events)
+            if footer is not None:
+                for bid, tids in footer.get("barriers", {}).items():
+                    writer._barriers.setdefault(int(bid), set()).update(
+                        int(t) for t in tids
+                    )
+        finally:
+            writer.close()
+        durable.publish_file(tmp, dest)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return report

@@ -203,3 +203,62 @@ class TestCli:
         payload = json.loads(capsys.readouterr().out)
         assert payload[0]["code"] == "DET002"
         assert payload[0]["line"] == 1
+
+
+class TestBareWrites:
+    """ROB004: tearable writes inside durable-artifact modules."""
+
+    def lint_durable(self, snippet):
+        return lint_source(
+            textwrap.dedent(snippet), "src/repro/harness/x.py"
+        )
+
+    def test_open_write_mode_flagged(self):
+        for mode in ("w", "wb", "a", "x", "r+"):
+            findings = self.lint_durable(f"""
+                with open(p, "{mode}") as fh:
+                    fh.write(data)
+            """)
+            assert [f.code for f in findings] == ["ROB004"], mode
+
+    def test_open_mode_keyword_flagged(self):
+        findings = self.lint_durable("""
+            fh = open(p, mode="w")
+        """)
+        assert [f.code for f in findings] == ["ROB004"]
+
+    def test_write_text_and_bytes_flagged(self):
+        findings = self.lint_durable("""
+            p.write_text(body)
+            p.write_bytes(blob)
+        """)
+        assert [f.code for f in findings] == ["ROB004", "ROB004"]
+
+    def test_path_open_write_flagged(self):
+        findings = self.lint_durable("""
+            with p.open("ab") as fh:
+                fh.write(frame)
+        """)
+        assert [f.code for f in findings] == ["ROB004"]
+
+    def test_reads_are_clean(self):
+        findings = self.lint_durable("""
+            a = open(p).read()
+            b = open(p, "rb").read()
+            with p.open() as fh:
+                c = fh.read()
+            d = p.read_text()
+        """)
+        assert findings == []
+
+    def test_out_of_scope_modules_are_clean(self):
+        snippet = 'p.write_text(body)\n'
+        assert lint_source(snippet, "src/repro/core/x.py") == []
+        assert lint_source(snippet, "src/repro/harness/x.py") != []
+        assert lint_source(snippet, "src/repro/tools/x.py") != []
+
+    def test_pragma_suppresses(self):
+        findings = self.lint_durable("""
+            p.write_bytes(b"junk")  # detlint: ok - deliberate corruption
+        """)
+        assert findings == []

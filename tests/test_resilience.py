@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 
 import pytest
 
+from repro.common import durable
 from repro.common.config import SystemConfig
 from repro.common.errors import (
     ConfigError,
@@ -305,9 +306,11 @@ class TestCheckpointResume:
         assert summary["points"] == 3
         assert summary["completed"] == 3
         assert summary["failed"] == 0
-        # every line is valid JSON carrying a final status
-        lines = (tmp_path / "ck.jsonl").read_text().splitlines()
-        assert [json.loads(line)["status"] for line in lines] == ["miss"] * 3
+        # every frame is valid JSON carrying a final status, no torn tail
+        scanned = durable.scan_frames((tmp_path / "ck.jsonl").read_bytes())
+        assert scanned.torn_bytes == 0
+        assert [json.loads(p)["status"] for p in scanned.payloads] == \
+            ["miss"] * 3
 
     def test_resume_skips_known_failed_points(self, tmp_path):
         """With keep_going, a resumed sweep replays journaled failures
@@ -367,11 +370,73 @@ class TestCheckpointResume:
         path = tmp_path / "ck.jsonl"
         ck = Checkpoint(path)
         ck.record("a" * 64, "miss", "w", "mesi", 0.1)
-        with path.open("a") as handle:
-            handle.write('{"key": "bbbb", "stat')  # crash mid-append
+        frame = durable.encode_frame(
+            json.dumps({"key": "b" * 64, "status": "miss"}).encode()
+        )
+        with path.open("ab") as handle:
+            handle.write(frame[: len(frame) - 7])  # crash mid-append
         resumed = Checkpoint(path, resume=True)
         assert resumed.resumed_from == 1
         assert resumed.completed("a" * 64)
+        assert resumed.torn_bytes == len(frame) - 7
+
+    def test_legacy_jsonl_journal_loads(self, tmp_path):
+        """Journals written by the pre-framed harness still resume."""
+        path = tmp_path / "ck.jsonl"
+        record = {"key": "a" * 64, "status": "miss"}
+        path.write_text(json.dumps(record) + "\n" + '{"key": "bb", "sta')
+        resumed = Checkpoint(path, resume=True)
+        assert resumed.resumed_from == 1
+        assert resumed.completed("a" * 64)
+
+
+class TestDoubleCrashResume:
+    """SIGKILL mid-sweep, resume, SIGKILL again, resume: the twice-
+    interrupted sweep's output is byte-identical to the fault-free
+    run's — on both simulation engines."""
+
+    @pytest.mark.faultinject
+    @pytest.mark.parametrize("engine", ["scalar", "batch"])
+    def test_double_crash_resume_is_byte_identical(self, tmp_path, engine):
+        from tests.test_crashsafe import run_driver
+
+        env = {"REPRO_ENGINE": engine}
+        clean = run_driver(tmp_path / "baseline", env_extra=env)
+        assert clean.returncode == 0, clean.stderr
+
+        cache_dir = tmp_path / "crashed"
+        # crash 1: torn checkpoint append right after point 1 is cached
+        first = run_driver(cache_dir, env_extra={
+            **env,
+            "REPRO_KILLPOINTS":
+                "seed=9,rate=1,tear=0.5,sites=checkpoint:append",
+        })
+        assert first.returncode == durable.KILLPOINT_EXIT_STATUS
+        assert len(list(cache_dir.rglob("*.pkl"))) == 1
+        # crash 2 (different site): die after point 2's entry publishes
+        second = run_driver(cache_dir, "--resume", env_extra={
+            **env,
+            "REPRO_KILLPOINTS":
+                "seed=9,rate=1,sites=cache-entry:post-rename",
+        })
+        assert second.returncode == durable.KILLPOINT_EXIT_STATUS
+        assert len(list(cache_dir.rglob("*.pkl"))) == 2  # progress survived
+        final = run_driver(cache_dir, "--resume", env_extra=env)
+        assert final.returncode == 0, final.stderr
+        assert final.stdout == clean.stdout
+
+    @pytest.mark.faultinject
+    def test_engines_agree_byte_for_byte(self, tmp_path):
+        from tests.test_crashsafe import run_driver
+
+        outs = {}
+        for engine in ("scalar", "batch"):
+            proc = run_driver(
+                tmp_path / engine, env_extra={"REPRO_ENGINE": engine}
+            )
+            assert proc.returncode == 0, proc.stderr
+            outs[engine] = proc.stdout
+        assert outs["scalar"] == outs["batch"]
 
 
 # --------------------------------------------------------------------------

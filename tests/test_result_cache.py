@@ -179,6 +179,81 @@ class TestCorruption:
         assert not path.exists()
 
 
+class TestDurability:
+    def test_killed_store_leaves_cache_clean_after_reopen(self, tmp_path):
+        """A worker SIGKILLed mid-store leaves only .tmp-* residue — no
+        torn entry — and the reopen GC sweep reclaims it."""
+        import os
+        import subprocess
+        import sys
+        import textwrap
+
+        from repro.common.durable import KILLPOINT_EXIT_STATUS
+
+        code = textwrap.dedent("""
+            from repro.harness import KillPlan
+            from repro.harness.result_cache import ResultCache
+            import sys
+            KillPlan(seed=1, rate=1.0, tear_rate=1.0,
+                     sites="cache-entry").install()
+            ResultCache(sys.argv[1]).put("ab" * 32, {"x": 1})
+            sys.exit(99)  # unreachable: the store must die
+        """)
+        proc = subprocess.run(
+            [sys.executable, "-c", code, str(tmp_path)],
+            env={**os.environ, "PYTHONPATH": "src"},
+        )
+        assert proc.returncode == KILLPOINT_EXIT_STATUS
+        # the tear left tmp residue but never a (torn) entry file
+        assert list(tmp_path.rglob(".tmp-*"))
+        assert not list(tmp_path.rglob("*.pkl"))
+
+        cache = ResultCache.open(tmp_path, gc_tmp_age=0)
+        assert cache.stats.tmp_reclaimed == 1
+        assert not list(tmp_path.rglob(".tmp-*"))
+        assert cache.get("ab" * 32) is None  # plain miss, not garbage
+
+    def test_gc_age_gate_protects_live_writers(self, tmp_path):
+        shard = tmp_path / "ab"
+        shard.mkdir(parents=True)
+        (shard / ".tmp-inflight").write_bytes(b"live writer")
+        cache = ResultCache.open(tmp_path)  # default hour-long gate
+        assert cache.stats.tmp_reclaimed == 0
+        assert (shard / ".tmp-inflight").exists()
+        assert cache.gc_stale_tmps(0) == [shard / ".tmp-inflight"]
+
+    def test_put_then_crash_is_old_or_new(self, tmp_path):
+        """Overwriting an entry under a mid-replace tear keeps the old
+        bytes intact — a reader never sees a torn mix."""
+        import os
+        import subprocess
+        import sys
+        import textwrap
+
+        from repro.common.durable import KILLPOINT_EXIT_STATUS
+
+        cache = ResultCache(tmp_path)
+        key = "cd" * 32
+        cache.put(key, {"generation": 1})
+        before = cache.path_for(key).read_bytes()
+        code = textwrap.dedent("""
+            from repro.harness import KillPlan
+            from repro.harness.result_cache import ResultCache
+            import sys
+            KillPlan(seed=3, rate=1.0, tear_rate=1.0,
+                     sites="cache-entry").install()
+            ResultCache(sys.argv[1]).put("cd" * 32, {"generation": 2})
+            sys.exit(99)
+        """)
+        proc = subprocess.run(
+            [sys.executable, "-c", code, str(tmp_path)],
+            env={**os.environ, "PYTHONPATH": "src"},
+        )
+        assert proc.returncode == KILLPOINT_EXIT_STATUS
+        assert cache.path_for(key).read_bytes() == before
+        assert ResultCache(tmp_path).get(key, expect=dict) == {"generation": 1}
+
+
 class TestManifest:
     def test_manifest_json_round_trip(self, tmp_path):
         cache = ResultCache(tmp_path / "cache")
@@ -197,3 +272,31 @@ class TestManifest:
             assert len(entry["key"]) == 64
             assert entry["seconds"] >= 0
             assert entry["protocol"] in ("mesi", "ce", "ce+", "arc")
+
+    def test_write_merged_preserves_other_runs_entries(self, tmp_path):
+        """Concurrent sweeps sharing a cache dir must not erase each
+        other's manifest entries; overlapping keys take this run's
+        record and counts are recomputed over the merged set."""
+        from repro.harness.executor import Manifest, ManifestEntry
+
+        path = tmp_path / "manifest.json"
+        first = Manifest(jobs=1)
+        first.entries = [
+            ManifestEntry("a" * 64, "w1", "mesi", "miss", 0.5),
+            ManifestEntry("b" * 64, "w2", "ce", "miss", 0.25),
+        ]
+        first.write_merged(path)
+        second = Manifest(jobs=2)
+        second.entries = [
+            ManifestEntry("b" * 64, "w2", "ce", "hit", 0.01),  # overlap
+            ManifestEntry("c" * 64, "w3", "arc", "miss", 0.125),
+        ]
+        out = json.loads(second.write_merged(path).read_text())
+        assert out["runs"] == 2
+        assert out["points"] == 3
+        assert out["hits"] == 1
+        assert out["misses"] == 2
+        by_key = {e["key"]: e for e in out["entries"]}
+        assert by_key["a" * 64]["workload"] == "w1"  # preserved
+        assert by_key["b" * 64]["status"] == "hit"  # this run wins
+        assert out["seconds"] == 0.635
