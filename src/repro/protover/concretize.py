@@ -1,0 +1,166 @@
+"""Dynamic cross-validation of symbolic counterexamples.
+
+A finding from the inductive sweep names an abstract pre-state the
+vocabulary can express — but the sweep never proved that state
+*reachable*.  Before a finding is trusted it must earn a concrete
+witness: a short modelcheck trace program, found by breadth-first
+search over real driver runs (with the finding's mutation applied
+dynamically), that reproduces the same defect class — the same
+invariant violated, or the same oracle bound (completeness /
+soundness) broken.
+
+The outcome classification mirrors the staticlint soundness-containment
+discipline:
+
+* ``replayed`` — the rendered trace, replayed from scratch through
+  ``shrink.parse_trace``/``replay_trace``, reproduces the defect: the
+  counterexample is real.
+* ``imprecision`` — no trace within the search budget reaches the
+  defect: the abstract vocabulary over-approximated.  Visible, not
+  fatal.
+* ``unsound`` — the search found a witness but its replay does *not*
+  reproduce the defect.  The verifier contradicted itself; this is
+  test-fatal (exit code 4).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from ..modelcheck.driver import Driver, Run
+from ..modelcheck.invariants import check_state
+from ..modelcheck.shrink import minimize, render_trace, replay_trace
+from ..modelcheck.workload import MCEvent
+from ..trace.events import ACQUIRE, READ, RELEASE, WRITE
+from ..verify.oracle import detected_keys, expected_conflicts
+from .induct import Finding
+from .mutations import MUTATIONS
+from .space import LINE, OFFSETS
+
+#: the concrete search alphabet — exactly what ``parse_trace`` can
+#: round-trip (no BARRIER, no forced evictions)
+ALPHABET: tuple[tuple[int, MCEvent], ...] = tuple(
+    (core, event)
+    for core in (0, 1)
+    for event in (
+        *(MCEvent(kind, slot=LINE, offset=offset)
+          for kind in (READ, WRITE) for offset in OFFSETS),
+        MCEvent(RELEASE),
+        MCEvent(ACQUIRE),
+    )
+)
+
+#: finding kinds a trace program can witness
+CONCRETIZABLE = ("invariant", "detection-completeness",
+                 "detection-soundness")
+
+
+def goal_for(finding: Finding) -> Callable[[Run], bool] | None:
+    """The defect-class predicate this finding's witness must satisfy."""
+    if finding.kind == "invariant":
+        name = finding.invariant
+
+        def goal(run: Run) -> bool:
+            return any(v.invariant == name for v in check_state(run))
+
+        return goal
+    if finding.kind == "detection-completeness":
+
+        def goal(run: Run) -> bool:
+            must, _may = expected_conflicts(run.recorder, run.cfg.protocol)
+            return bool(must - detected_keys(run.machine.stats.conflicts))
+
+        return goal
+    if finding.kind == "detection-soundness":
+
+        def goal(run: Run) -> bool:
+            _must, may = expected_conflicts(run.recorder, run.cfg.protocol)
+            return bool(detected_keys(run.machine.stats.conflicts) - may)
+
+        return goal
+    return None
+
+
+def _state_key(run: Run) -> tuple:
+    return (
+        run.protocol.snapshot(),
+        tuple(sorted(run.ghost.items())),
+        tuple(tuple(sorted(shadow.items())) for shadow in run.shadow),
+        tuple(run.boundaries),
+    )
+
+
+def _reaches(driver: Driver, steps, goal) -> bool:
+    try:
+        run = driver.replay(steps)
+    except Exception:  # noqa: BLE001 - a crashing prefix is no witness
+        return False
+    return goal(run)
+
+
+def search_witness(
+    replay_key: str,
+    mutate,
+    goal: Callable[[Run], bool],
+    *,
+    max_depth: int = 6,
+    max_nodes: int = 6000,
+) -> list | None:
+    """Memoized BFS over driver runs; returns a 1-minimal step list."""
+    driver = Driver(replay_key, 2, 2, mutate=mutate)
+    seen = {_state_key(driver.new_run())}
+    queue: deque[tuple] = deque([()])
+    nodes = 0
+    while queue and nodes < max_nodes:
+        prefix = queue.popleft()
+        for symbol in ALPHABET:
+            nodes += 1
+            steps = prefix + (symbol,)
+            try:
+                run = driver.replay(steps)
+            except Exception:  # noqa: BLE001 - dead branch of the search
+                continue
+            if goal(run):
+                return list(minimize(
+                    list(steps),
+                    lambda seq: _reaches(driver, seq, goal),
+                ))
+            key = _state_key(run)
+            if key not in seen and len(steps) < max_depth:
+                seen.add(key)
+                queue.append(steps)
+    return None
+
+
+def cross_validate(
+    finding: Finding,
+    mutation: str | None,
+    replay_key: str,
+    *,
+    max_depth: int = 6,
+    max_nodes: int = 6000,
+) -> str:
+    """Concretize one finding in place; returns the classification."""
+    goal = goal_for(finding)
+    if goal is None:
+        finding.concrete = "imprecision"
+        return finding.concrete
+    mutate = MUTATIONS[mutation].dynamic if mutation is not None else None
+    steps = search_witness(
+        replay_key, mutate, goal,
+        max_depth=max_depth, max_nodes=max_nodes,
+    )
+    if steps is None:
+        finding.concrete = "imprecision"
+        return finding.concrete
+    trace = render_trace(steps)
+    finding.trace = trace
+    # the independent replay: text -> parse_trace -> fresh driver
+    try:
+        replay = replay_trace(replay_key, 2, 2, trace, mutate=mutate)
+        reproduced = goal(replay)
+    except Exception:  # noqa: BLE001 - a crashing replay proves nothing
+        reproduced = False
+    finding.concrete = "replayed" if reproduced else "unsound"
+    return finding.concrete

@@ -1,0 +1,267 @@
+"""Guard-instrumented recompilation of the protocol sources.
+
+The verifier needs, for every executed transition, the exact sequence
+of source-level branch decisions that produced it.  Rather than build a
+second interpreter for the protocol dialect (which would drift from the
+real semantics the simulator runs), the protocol modules are re-parsed,
+every branch condition — ``if``/``while`` tests, conditional
+expressions, comprehension filters — is wrapped in a recording guard
+``__pv_guard__(site_id, test)`` that returns its argument unchanged,
+and the instrumented ASTs are compiled into a *shadow package* under
+``repro._pv``.  The shadow classes therefore execute byte-for-byte the
+shipped control flow while emitting a ``(site, outcome)`` trace: the
+transition's symbolic guard, resolvable back to file/line/source text
+through the :class:`SiteTable`.
+
+Two properties the rest of the package relies on:
+
+* **Exactness** — a guard records the truthiness Python actually used,
+  so two transitions with different guard signatures are mutually
+  exclusive at their first divergent site (that site evaluated both
+  ways under the same earlier decisions), and the extracted relation is
+  non-overlapping by construction.
+* **Isolation** — shadow modules resolve their relative imports
+  through ``sys.modules`` aliases onto the *real* support modules
+  (bitops, caches, messages, metadata...), so only the protocol logic
+  itself is recompiled.  Mutated variants load under separate roots
+  (``repro._pvm_<name>``) and never leak into the real classes.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from types import ModuleType
+from typing import Callable
+
+#: protocol modules that are recompiled with guards (order matters:
+#: later modules import earlier ones through the shadow package)
+PROTOCOL_MODULES = ("base", "mesi", "ce", "ceplus", "arc")
+
+#: support modules aliased onto the real implementations, relative to
+#: the ``repro`` package root
+_ALIASED = (
+    "common",
+    "common.bitops",
+    "common.errors",
+    "common.config",
+    "mem",
+    "mem.cache",
+    "mem.hierarchy",
+    "noc",
+    "noc.messages",
+    "trace",
+    "trace.events",
+    "protocols.metadata",
+    "protocols.aim",
+)
+
+
+@dataclass(frozen=True)
+class GuardSite:
+    """One instrumented branch condition in a protocol source."""
+
+    site_id: int
+    module: str
+    qualname: str
+    lineno: int
+    source: str
+
+    def render(self) -> str:
+        return f"{self.module}.py:{self.lineno} [{self.qualname}] {self.source}"
+
+
+class SiteTable:
+    """site_id -> :class:`GuardSite`, shared across one shadow root."""
+
+    def __init__(self) -> None:
+        self.sites: list[GuardSite] = []
+
+    def add(self, module: str, qualname: str, lineno: int, source: str) -> int:
+        site_id = len(self.sites)
+        self.sites.append(GuardSite(site_id, module, qualname, lineno, source))
+        return site_id
+
+    def __getitem__(self, site_id: int) -> GuardSite:
+        return self.sites[site_id]
+
+    def __len__(self) -> int:
+        return len(self.sites)
+
+
+class GuardRecorder:
+    """Collects the guard trace of the step currently executing."""
+
+    __slots__ = ("trace", "enabled")
+
+    def __init__(self) -> None:
+        self.trace: list[tuple[int, bool]] = []
+        self.enabled = False
+
+    def start(self) -> None:
+        self.trace.clear()
+        self.enabled = True
+
+    def stop(self) -> tuple[tuple[int, bool], ...]:
+        self.enabled = False
+        return tuple(self.trace)
+
+    def guard(self, site_id: int, value: object) -> object:
+        if self.enabled:
+            self.trace.append((site_id, bool(value)))
+        return value
+
+
+class _GuardInstrumenter(ast.NodeTransformer):
+    """Wrap every branch condition in ``__pv_guard__(site, test)``."""
+
+    def __init__(self, module: str, table: SiteTable):
+        self.module = module
+        self.table = table
+        self._scope: list[str] = []
+
+    def _wrap(self, test: ast.expr) -> ast.expr:
+        qualname = ".".join(self._scope) or "<module>"
+        site = self.table.add(
+            self.module, qualname, test.lineno, ast.unparse(test)
+        )
+        return ast.Call(
+            func=ast.Name(id="__pv_guard__", ctx=ast.Load()),
+            args=[ast.Constant(value=site), test],
+            keywords=[],
+        )
+
+    def _visit_scope(self, node):
+        self._scope.append(node.name)
+        self.generic_visit(node)
+        self._scope.pop()
+        return node
+
+    visit_FunctionDef = _visit_scope
+    visit_AsyncFunctionDef = _visit_scope
+    visit_ClassDef = _visit_scope
+
+    def visit_If(self, node: ast.If):
+        self.generic_visit(node)
+        node.test = self._wrap(node.test)
+        return node
+
+    def visit_While(self, node: ast.While):
+        self.generic_visit(node)
+        node.test = self._wrap(node.test)
+        return node
+
+    def visit_IfExp(self, node: ast.IfExp):
+        self.generic_visit(node)
+        node.test = self._wrap(node.test)
+        return node
+
+    def visit_comprehension(self, node: ast.comprehension):
+        self.generic_visit(node)
+        node.ifs = [self._wrap(test) for test in node.ifs]
+        return node
+
+
+@dataclass
+class InstrumentedProtocols:
+    """One loaded shadow root: classes, sites and the live recorder."""
+
+    root: str
+    classes: dict[str, type] = field(default_factory=dict)
+    modules: dict[str, ModuleType] = field(default_factory=dict)
+    sites: SiteTable = field(default_factory=SiteTable)
+    recorder: GuardRecorder = field(default_factory=GuardRecorder)
+    mutation: str | None = None
+
+    def line_class(self, name: str) -> type:
+        """Payload classes (``MesiLine``/``ArcLine``) from the shadow
+        modules, so encoded states use the same definitions the
+        instrumented dispatch methods construct."""
+        for module in self.modules.values():
+            cls = getattr(module, name, None)
+            if isinstance(cls, type):
+                return cls
+        raise KeyError(name)
+
+
+def _protocols_dir() -> Path:
+    from .. import protocols
+
+    return Path(protocols.__file__).resolve().parent
+
+
+def _alias_module(shadow: str, real: str) -> None:
+    module = __import__(real, fromlist=["_"])
+    sys.modules[shadow] = module
+
+
+def _placeholder(name: str) -> ModuleType:
+    module = ModuleType(name)
+    module.__path__ = []  # type: ignore[attr-defined]
+    sys.modules[name] = module
+    return module
+
+
+_CACHE: dict[str, InstrumentedProtocols] = {}
+
+
+def load_instrumented(
+    mutation: str | None = None,
+    transform: Callable[[str, ast.Module], ast.Module] | None = None,
+) -> InstrumentedProtocols:
+    """Compile the protocol sources into a guard-instrumented shadow
+    package and return its classes.
+
+    ``mutation`` names a seeded AST mutation from :mod:`.mutations`
+    (loaded under its own shadow root so mutants never alias the clean
+    classes); ``transform`` is the matching AST rewrite, resolved
+    automatically when only the name is given.  Results are cached per
+    root — the module objects are immutable once executed.
+    """
+    if mutation is None:
+        root = "repro._pv"
+    else:
+        root = "repro._pvm_" + mutation.replace("-", "_")
+    cached = _CACHE.get(root)
+    if cached is not None:
+        return cached
+    if mutation is not None and transform is None:
+        from .mutations import MUTATIONS
+
+        transform = MUTATIONS[mutation].transform
+
+    loaded = InstrumentedProtocols(root=root, mutation=mutation)
+    _placeholder(root)
+    _placeholder(root + ".protocols")
+    for name in _ALIASED:
+        _alias_module(f"{root}.{name}", f"repro.{name}")
+
+    src_dir = _protocols_dir()
+    guard = loaded.recorder.guard
+    for name in PROTOCOL_MODULES:
+        source = (src_dir / f"{name}.py").read_text()
+        tree = ast.parse(source, filename=f"{name}.py")
+        if transform is not None:
+            tree = transform(name, tree)
+        instrumenter = _GuardInstrumenter(name, loaded.sites)
+        tree = ast.fix_missing_locations(instrumenter.visit(tree))
+        code = compile(tree, filename=f"<protover:{root}.{name}>", mode="exec")
+        module = ModuleType(f"{root}.protocols.{name}")
+        module.__package__ = f"{root}.protocols"
+        module.__pv_guard__ = guard  # type: ignore[attr-defined]
+        sys.modules[module.__name__] = module
+        exec(code, module.__dict__)
+        loaded.modules[name] = module
+
+    loaded.classes = {
+        "mesi": loaded.modules["mesi"].MesiProtocol,
+        "moesi": loaded.modules["mesi"].MesiProtocol,
+        "ce": loaded.modules["ce"].CeProtocol,
+        "ceplus": loaded.modules["ceplus"].CePlusProtocol,
+        "ce+": loaded.modules["ceplus"].CePlusProtocol,
+        "arc": loaded.modules["arc"].ArcProtocol,
+    }
+    _CACHE[root] = loaded
+    return loaded

@@ -1,0 +1,515 @@
+"""The inductive sweep: every vocabulary state × every event.
+
+For one protocol, :func:`verify_protocol`:
+
+1. filters the constructive vocabulary through the *real*
+   ``modelcheck.invariants.check_state`` (via a :class:`RunView` duck
+   standing in for a driver ``Run``), so the induction hypothesis is
+   exactly "state satisfies the nine invariants";
+2. encodes each surviving state onto a guard-instrumented protocol
+   instance, executes each alphabet event, and re-checks the invariants
+   on the post-state — a violation is a symbolic counterexample
+   ``(pre-state, event, invariant)``;
+3. checks eager-detection *bounds* computed from the abstract
+   pre-state: CE/CE+ must report exactly when live remote bits overlap
+   the access (missing report = completeness defect, report outside the
+   bound = soundness defect — together these catch the detector
+   mutations no structural invariant sees); MESI never reports; ARC may
+   report only within a generous mask-overlap envelope;
+4. records each executed transition's guard signature and proves the
+   extracted relation **complete** (no (state, event) raises),
+   **non-overlapping** (any two signatures under one state class
+   diverge at a guard site that evaluated both ways) and
+   **deterministic** (equal signatures ⇒ equal outcome class).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..core.machine import Machine
+from ..modelcheck.invariants import check_state
+from ..protocols.base import STATE_NAMES
+from ..trace.events import ACQUIRE, BARRIER, RELEASE
+from .extract import InstrumentedProtocols, load_instrumented
+from .space import (
+    ACCESS_SIZE,
+    LINE,
+    STEP_CYCLE,
+    ArcState,
+    Event,
+    apply_state,
+    events_for,
+    protover_config,
+    reset,
+    states_for,
+)
+
+#: stats counters surfaced as transition actions in the tables
+ACTION_FIELDS = (
+    ("invalidations_sent", "INV"),
+    ("forwards", "FWD"),
+    ("upgrades", "UPG"),
+    ("l1_evictions", "EVICT"),
+    ("l1_writebacks", "WB"),
+    ("downgrade_writebacks", "WB↓"),
+    ("metadata_spills", "SPILL"),
+    ("metadata_fills", "FILL"),
+    ("metadata_checks", "META-CHECK"),
+    ("metadata_clears", "CLEAR"),
+    ("self_invalidated_lines", "SELF-INV"),
+    ("self_downgrades", "SELF-WB"),
+    ("arc_registrations", "REGISTER"),
+    ("arc_write_throughs", "WRITE-THRU"),
+    ("classification_recoveries", "RECOVER"),
+)
+
+#: cap on stored findings per kind (totals are still exact) — a mutant
+#: violates in thousands of states and a handful of witnesses suffice
+MAX_STORED_PER_KIND = 16
+
+
+class RunView:
+    """Duck-typed stand-in for a modelcheck ``Run``.
+
+    ``check_state`` only touches these attributes, so the invariant
+    suite runs byte-identical against encoded abstract states.
+    """
+
+    __slots__ = (
+        "cfg", "cores", "machine", "protocol", "ghost", "shadow",
+        "track_values", "last_step", "boundaries",
+    )
+
+    def __init__(self, protocol, machine, *, track_values: bool):
+        self.cfg = machine.cfg
+        self.cores = 2
+        self.machine = machine
+        self.protocol = protocol
+        self.ghost: dict[int, int] = {}
+        self.shadow: list[dict[int, int]] = [dict(), dict()]
+        self.track_values = track_values
+        self.last_step = None
+        self.boundaries = [0, 0]
+
+
+@dataclass
+class Finding:
+    """One verifier finding (symbolic counterexample or meta-defect)."""
+
+    kind: str  # invariant | exception | detection-completeness |
+    #            detection-soundness | overlap | nondeterminism |
+    #            refinement
+    protocol: str
+    state_label: str
+    event_label: str
+    message: str
+    invariant: str | None = None
+    guard: tuple = ()
+    #: the abstract pre-state (used by concretization); not serialized
+    state: object = None
+    event: Event | None = None
+    #: filled by concretization
+    trace: str | None = None
+    concrete: str | None = None  # replayed | imprecision | unsound
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "protocol": self.protocol,
+            "state": self.state_label,
+            "event": self.event_label,
+            "invariant": self.invariant,
+            "message": self.message,
+            "concrete": self.concrete,
+            "trace": self.trace,
+        }
+
+
+@dataclass
+class TableCell:
+    """Aggregated transitions for one (pre-class, event) table row."""
+
+    post_classes: set = field(default_factory=set)
+    actions: set = field(default_factory=set)
+    variants: set = field(default_factory=set)  # hash of (cvec, guard)
+
+
+@dataclass
+class SweepResult:
+    """Everything one protocol sweep produced."""
+
+    protocol: str
+    mutation: str | None
+    states: int = 0
+    filtered: int = 0  # candidates outside Inv (not part of the proof)
+    steps: int = 0
+    inapplicable: int = 0
+    sites: int = 0
+    elapsed: float = 0.0
+    findings: list[Finding] = field(default_factory=list)
+    finding_counts: dict[str, int] = field(default_factory=dict)
+    #: (pre_class, event_label) -> TableCell, for docs generation
+    table: dict[tuple[str, str], TableCell] = field(default_factory=dict)
+
+    @property
+    def clean(self) -> bool:
+        return not self.finding_counts
+
+    def add_finding(self, finding: Finding) -> None:
+        count = self.finding_counts.get(finding.kind, 0)
+        self.finding_counts[finding.kind] = count + 1
+        if count < MAX_STORED_PER_KIND:
+            self.findings.append(finding)
+
+
+# --------------------------------------------------------------------------
+# detection bounds
+# --------------------------------------------------------------------------
+
+
+def _overlaps(mask: int, read_mask: int, write_mask: int, is_write: bool) -> int:
+    if is_write:
+        return mask & (read_mask | write_mask)
+    return mask & write_mask
+
+
+def detection_bounds(key: str, state, event: Event) -> tuple[bool, bool]:
+    """(must_report, may_report) for this transition, from the abstract
+    pre-state.  CE's eager check is exact: a conflict is reported iff
+    the access overlaps a *live* remote copy or live spilled entry."""
+    if key in ("mesi", "moesi"):
+        return (False, False)
+    if key in ("ce", "ceplus"):
+        if not event.is_access:
+            return (False, False)
+        actor, mask, is_write = event.core, event.mask, event.kind == "W"
+        hit = False
+        for other in (0, 1):
+            if other == actor:
+                continue
+            slot = state.slots[other]
+            if slot is not None and slot.live and _overlaps(
+                mask, slot.read_mask, slot.write_mask, is_write
+            ):
+                hit = True
+            meta = state.meta[other]
+            if meta is not None and meta.live and _overlaps(
+                mask, meta.read_mask, meta.write_mask, is_write
+            ):
+                hit = True
+        return (hit, hit)
+    return (False, _arc_may(state, event))
+
+
+def _arc_side(state: ArcState, core: int, event: Event) -> tuple[int, int]:
+    """Every byte this core's history could contribute to a lazy check:
+    the event's own mask, cached masks (live or ended-but-unflushed)
+    and every bank entry still on record."""
+    read_mask = write_mask = 0
+    if event.is_access and event.core == core:
+        if event.kind == "W":
+            write_mask |= event.mask
+        else:
+            read_mask |= event.mask
+    slot = state.slots[core]
+    if slot is not None:
+        read_mask |= slot.read_mask | slot.reg_read_mask
+        write_mask |= slot.write_mask | slot.reg_write_mask
+    for entry in state.bank[core]:
+        read_mask |= entry.read_mask
+        write_mask |= entry.write_mask
+    return read_mask, write_mask
+
+
+def _arc_may(state: ArcState, event: Event) -> bool:
+    r0, w0 = _arc_side(state, 0, event)
+    r1, w1 = _arc_side(state, 1, event)
+    return bool((w0 & (r1 | w1)) | (r0 & w1))
+
+
+# --------------------------------------------------------------------------
+# one step
+# --------------------------------------------------------------------------
+
+
+def _applicable(state, event: Event) -> bool:
+    if event.kind == "EVICT":
+        return state.slots[event.core] is not None
+    return True
+
+
+def _update_ghost(view: RunView, core: int, is_write: bool,
+                  cached_before: bool) -> None:
+    # mirrors modelcheck.driver.Run._update_ghost
+    ghost = view.ghost
+    if not cached_before:
+        view.shadow[core][LINE] = ghost.get(LINE, 0)
+    if is_write:
+        ghost[LINE] = ghost.get(LINE, 0) + 1
+        view.shadow[core][LINE] = ghost[LINE]
+    for c in range(view.cores):
+        stale = [
+            line for line in view.shadow[c]
+            if view.protocol.l1[c].peek(line) is None
+        ]
+        for line in stale:
+            del view.shadow[c][line]
+
+
+def run_event(view: RunView, event: Event, recorder) -> tuple:
+    """Execute one event on the encoded instance; returns
+    ``(guard_signature, error_message_or_None)``."""
+    protocol = view.protocol
+    recorder.start()
+    error = None
+    try:
+        if event.is_access:
+            cached_before = protocol.l1[event.core].peek(LINE) is not None
+            protocol.access(
+                event.core, event.offset, ACCESS_SIZE,
+                event.kind == "W", STEP_CYCLE,
+            )
+            view.last_step = (event.core, event.to_mc())
+            if view.track_values:
+                _update_ghost(view, event.core, event.kind == "W",
+                              cached_before)
+        elif event.kind in ("REL", "ACQ", "BARRIER"):
+            kind = {"REL": RELEASE, "ACQ": ACQUIRE, "BARRIER": BARRIER}
+            protocol.region_boundary(event.core, STEP_CYCLE, kind[event.kind])
+            view.boundaries[event.core] += 1
+            view.last_step = (event.core, event.to_mc())
+        elif event.kind == "EVICT":
+            payload = protocol.l1[event.core].invalidate(LINE)
+            protocol._evict(event.core, LINE, payload, STEP_CYCLE)
+            view.last_step = None
+        elif event.kind == "FINALIZE":
+            protocol.finalize(STEP_CYCLE)
+            view.last_step = None
+        else:  # pragma: no cover - alphabet is closed
+            raise ValueError(event.kind)
+    except Exception as exc:  # noqa: BLE001 - completeness check
+        error = f"{type(exc).__name__}: {exc}"
+    finally:
+        signature = recorder.stop()
+    if view.track_values:
+        for core in range(view.cores):
+            stale = [
+                line for line in view.shadow[core]
+                if protocol.l1[core].peek(line) is None
+            ]
+            for line in stale:
+                del view.shadow[core][line]
+    return signature, error
+
+
+def post_class(protocol, key: str, core: int) -> str:
+    payload = protocol.l1[core].peek(LINE)
+    if payload is None:
+        return "I"
+    if key == "arc":
+        tag = "Sh" if payload.shared else "P"
+        if payload.dirty:
+            tag += "+d"
+    else:
+        tag = STATE_NAMES.get(payload.state, f"?{payload.state}")
+    if payload.region != protocol.region[core]:
+        tag = "~" + tag
+    return tag
+
+
+def _actions(stats) -> tuple[tuple[str, int], ...]:
+    out = []
+    for fname, label in ACTION_FIELDS:
+        value = getattr(stats, fname)
+        if value:
+            out.append((label, value))
+    if stats.conflicts:
+        out.append(("REPORT", len(stats.conflicts)))
+    return tuple(out)
+
+
+# --------------------------------------------------------------------------
+# the sweep
+# --------------------------------------------------------------------------
+
+
+def _fresh_view(protocol, machine, key: str, state) -> RunView:
+    view = RunView(
+        protocol, machine, track_values=(key != "arc")
+    )
+    if isinstance(state, ArcState):
+        view.boundaries = [2, 2]
+    else:
+        view.boundaries = [1, 1]
+        cached = [
+            core for core, slot in enumerate(state.slots) if slot is not None
+        ]
+        view.ghost = {LINE: 1}
+        for core in cached:
+            view.shadow[core][LINE] = 1
+    return view
+
+
+def build_instance(key: str, loaded: InstrumentedProtocols):
+    """One reusable (machine, protocol) pair for a sweep."""
+    machine = Machine(protover_config(key), sanitize=False)
+    protocol = loaded.classes[key](machine)
+    protocol.active_cores = 2
+    return machine, protocol
+
+
+def inv_states(key: str, loaded: InstrumentedProtocols,
+               machine, protocol) -> tuple[list, int]:
+    """The vocabulary restricted to invariant-satisfying states."""
+    kept: list = []
+    filtered = 0
+    for state in states_for(key):
+        reset(protocol)
+        apply_state(protocol, state, loaded)
+        view = _fresh_view(protocol, machine, key, state)
+        if check_state(view):
+            filtered += 1
+        else:
+            kept.append(state)
+    return kept, filtered
+
+
+def verify_protocol(
+    key: str,
+    mutation: str | None = None,
+    *,
+    loaded: InstrumentedProtocols | None = None,
+) -> SweepResult:
+    """Run the full inductive sweep for one protocol."""
+    if loaded is None:
+        loaded = load_instrumented(mutation)
+    result = SweepResult(protocol=key, mutation=mutation,
+                         sites=len(loaded.sites))
+    started = time.perf_counter()
+    machine, protocol = build_instance(key, loaded)
+    states, result.filtered = inv_states(key, loaded, machine, protocol)
+    result.states = len(states)
+    events = events_for(key)
+    recorder = loaded.recorder
+
+    # (event, class_vector) -> {signature: (outcome, state_label)}
+    groups: dict[tuple, dict[tuple, tuple]] = {}
+
+    for state in states:
+        class_vector = state.class_vector()
+        for event in events:
+            if not _applicable(state, event):
+                result.inapplicable += 1
+                continue
+            reset(protocol)
+            apply_state(protocol, state, loaded)
+            view = _fresh_view(protocol, machine, key, state)
+            signature, error = run_event(view, event, recorder)
+            result.steps += 1
+            if error is not None:
+                result.add_finding(Finding(
+                    kind="exception", protocol=key,
+                    state_label=state.label(), event_label=event.label(),
+                    message=f"dispatch raised {error}",
+                    guard=signature, state=state, event=event,
+                ))
+                continue
+            stats = machine.stats
+            for violation in check_state(view):
+                result.add_finding(Finding(
+                    kind="invariant", protocol=key,
+                    state_label=state.label(), event_label=event.label(),
+                    invariant=violation.invariant,
+                    message=violation.render(),
+                    guard=signature, state=state, event=event,
+                ))
+            must, may = detection_bounds(key, state, event)
+            reported = bool(stats.conflicts)
+            if must and not reported:
+                result.add_finding(Finding(
+                    kind="detection-completeness", protocol=key,
+                    state_label=state.label(), event_label=event.label(),
+                    message="live remote bits overlap the access but no "
+                            "conflict was reported",
+                    guard=signature, state=state, event=event,
+                ))
+            if reported and not may:
+                records = ", ".join(
+                    f"{r.detected_by}@{r.first_core}/r{r.first_region}"
+                    for r in stats.conflicts
+                )
+                result.add_finding(Finding(
+                    kind="detection-soundness", protocol=key,
+                    state_label=state.label(), event_label=event.label(),
+                    message="conflict reported outside the may-bound "
+                            f"({records})",
+                    guard=signature, state=state, event=event,
+                ))
+            acted = post_class(protocol, key, event.core)
+            action_counts = _actions(stats)
+            outcome = (
+                acted, frozenset(label for label, _n in action_counts)
+            )
+            cell = result.table.setdefault(
+                (state.acting_class(event.core), event.label()), TableCell()
+            )
+            cell.post_classes.add(acted)
+            cell.actions.update(label for label, _n in action_counts)
+            cell.variants.add(hash((class_vector, signature)))
+
+            seen = groups.setdefault((event.label(), class_vector), {})
+            previous = seen.get(signature)
+            if previous is None:
+                seen[signature] = (outcome, state.label())
+            elif previous[0] != outcome:
+                result.add_finding(Finding(
+                    kind="nondeterminism", protocol=key,
+                    state_label=state.label(), event_label=event.label(),
+                    message="equal guard signature, different outcome: "
+                            f"{previous[0]} (from {previous[1]}) vs "
+                            f"{outcome}",
+                    guard=signature, state=state, event=event,
+                ))
+
+    _check_overlap(result, groups, loaded)
+    result.elapsed = time.perf_counter() - started
+    return result
+
+
+def _check_overlap(result: SweepResult, groups, loaded) -> None:
+    """Any two transitions of one (event, state-class) group must part
+    ways at a guard site that evaluated both ways — otherwise their
+    guards overlap and the relation is not syntax-directed."""
+    for (event_label, _cvec), seen in groups.items():
+        signatures = sorted(seen)
+        for i, sig_a in enumerate(signatures):
+            for sig_b in signatures[i + 1:]:
+                shared = min(len(sig_a), len(sig_b))
+                split = None
+                for idx in range(shared):
+                    if sig_a[idx] != sig_b[idx]:
+                        split = idx
+                        break
+                if split is None:
+                    result.add_finding(Finding(
+                        kind="overlap", protocol=result.protocol,
+                        state_label=seen[sig_a][1],
+                        event_label=event_label,
+                        message="guard signature is a strict prefix of "
+                                "another — transitions are not separated "
+                                "by any branch",
+                        guard=sig_a,
+                    ))
+                elif sig_a[split][0] != sig_b[split][0]:
+                    site_a = loaded.sites[sig_a[split][0]].render()
+                    site_b = loaded.sites[sig_b[split][0]].render()
+                    result.add_finding(Finding(
+                        kind="overlap", protocol=result.protocol,
+                        state_label=seen[sig_a][1],
+                        event_label=event_label,
+                        message="transitions diverged without a guard "
+                                f"deciding it ({site_a} vs {site_b})",
+                        guard=sig_a,
+                    ))

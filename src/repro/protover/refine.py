@@ -1,0 +1,205 @@
+"""Machine-checked refinement: CE+ refines CE refines MESI.
+
+The paper's protocols are deliberately layered: CE adds access-bit
+bookkeeping and conflict *detection* on top of plain MESI without
+changing a single coherence decision, and CE+ changes only where the
+spilled metadata physically lives (the AIM) without changing what the
+metadata says.  These are exactly the statements a base-class edit can
+silently break, so they are checked transition-by-transition:
+
+* **CE ⊑ MESI** — every invariant-satisfying CE state, projected down
+  to bare MESI (masks and metadata dropped), must step to the same
+  coherence outcome: identical per-core line states, identical
+  directory entry, identical coherence-action counters.
+* **CE+ ⊑ CE** — every CE+ state with its AIM residency dropped must
+  step to the *fully identical* CE state: line states including masks
+  and region tags, directory, metadata table, spill logs, reported
+  conflicts, and every counter except the ``aim_*`` family.
+
+The low-side runs are memoized by (projected state, event), so the
+cost is one high-side sweep plus one low-side sweep over the projected
+quotient — not the product.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from .extract import InstrumentedProtocols, load_instrumented
+from .induct import (
+    Finding,
+    _applicable,
+    build_instance,
+    inv_states,
+    run_event,
+    _fresh_view,
+)
+from .space import LINE, MesiState, Slot, events_for
+
+#: coherence-action counters every refinement level must preserve
+COHERENCE_COUNTERS = (
+    "l1_hits", "l1_misses", "l1_evictions", "l1_writebacks",
+    "llc_hits", "llc_misses", "dir_lookups",
+    "invalidations_sent", "forwards", "upgrades", "downgrade_writebacks",
+)
+#: additionally preserved by CE+ over CE (the metadata *content* path)
+METADATA_COUNTERS = (
+    "metadata_spills", "metadata_fills", "metadata_checks",
+    "metadata_clears",
+)
+
+
+def project_to_mesi(state: MesiState) -> MesiState:
+    """Forget everything CE added: masks, region tags, metadata."""
+    slots = tuple(
+        None if slot is None else Slot(slot.state)
+        for slot in state.slots
+    )
+    return MesiState(slots=slots, meta=(None, None), aim=None)
+
+
+def project_to_ce(state: MesiState) -> MesiState:
+    """Forget only the AIM residency."""
+    return replace(state, aim=None)
+
+
+def _decode_coherence(protocol) -> tuple:
+    """The MESI-visible portion of a post-state."""
+    slots = []
+    for core in range(protocol.cfg.num_cores):
+        payload = protocol.l1[core].peek(LINE)
+        slots.append(None if payload is None else payload.state)
+    entry = protocol.directory.get(LINE)
+    directory = (
+        (-1, 0) if entry is None else (entry.owner, entry.sharers)
+    )
+    return (tuple(slots), directory)
+
+
+def _decode_ce(protocol) -> tuple:
+    """The full CE-visible portion (masks, metadata, conflicts)."""
+    slots = []
+    for core in range(protocol.cfg.num_cores):
+        payload = protocol.l1[core].peek(LINE)
+        slots.append(
+            None if payload is None else (
+                payload.state, payload.read_mask, payload.write_mask,
+                payload.region,
+            )
+        )
+    entry = protocol.directory.get(LINE)
+    directory = (-1, 0) if entry is None else (entry.owner, entry.sharers)
+    table = tuple(sorted(
+        (line, core, e.read_mask, e.write_mask, e.region)
+        for line, core, e in protocol.meta_table.items()
+    ))
+    logs = tuple(frozenset(log) for log in protocol.spill_log)
+    conflicts = tuple(sorted(
+        (r.line_addr, r.byte_mask, r.first_core, r.first_region,
+         r.second_core, r.second_region, r.detected_by)
+        for r in protocol.machine.stats.conflicts
+    ))
+    return (tuple(slots), directory, table, logs, conflicts)
+
+
+def _counters(stats, names) -> tuple:
+    return tuple(getattr(stats, name) for name in names)
+
+
+def check_refinement(
+    high_key: str,
+    low_key: str,
+    loaded: InstrumentedProtocols | None = None,
+) -> list[Finding]:
+    """Step every invariant-satisfying ``high_key`` state and its
+    projection on ``low_key`` through the shared alphabet; any
+    divergence of the low-side-visible outcome is a finding."""
+    if loaded is None:
+        loaded = load_instrumented()
+    if (high_key, low_key) == ("ce", "mesi"):
+        project, decode = project_to_mesi, _decode_coherence
+        counters = COHERENCE_COUNTERS
+    elif (high_key, low_key) == ("ceplus", "ce"):
+        project, decode = project_to_ce, _decode_ce
+        counters = COHERENCE_COUNTERS + METADATA_COUNTERS
+    else:
+        raise ValueError(f"no refinement theorem for {high_key}->{low_key}")
+
+    machine_hi, proto_hi = build_instance(high_key, loaded)
+    machine_lo, proto_lo = build_instance(low_key, loaded)
+    states, _ = inv_states(high_key, loaded, machine_hi, proto_hi)
+    events = events_for(high_key)
+    findings: list[Finding] = []
+    memo: dict[tuple, tuple] = {}
+
+    from .space import apply_state, reset
+
+    for state in states:
+        low_state = project(state)
+        for event in events:
+            if not _applicable(state, event):
+                continue
+            reset(proto_hi)
+            apply_state(proto_hi, state, loaded)
+            view = _fresh_view(proto_hi, machine_hi, high_key, state)
+            _sig, error = run_event(view, event, loaded.recorder)
+            if error is not None:
+                continue  # already reported by the inductive sweep
+            high_out = (
+                decode(proto_hi), _counters(machine_hi.stats, counters)
+            )
+
+            memo_key = (low_state, event)
+            low_out = memo.get(memo_key)
+            if low_out is None:
+                reset(proto_lo)
+                apply_state(proto_lo, low_state, loaded)
+                low_view = _fresh_view(
+                    proto_lo, machine_lo, low_key, low_state
+                )
+                _sig, low_error = run_event(
+                    low_view, event, loaded.recorder
+                )
+                low_out = (
+                    ("<error>", low_error) if low_error is not None else
+                    (decode(proto_lo),
+                     _counters(machine_lo.stats, counters))
+                )
+                memo[memo_key] = low_out
+
+            if high_out != low_out:
+                findings.append(Finding(
+                    kind="refinement", protocol=high_key,
+                    state_label=state.label(), event_label=event.label(),
+                    message=(
+                        f"{high_key} diverges from {low_key} on the "
+                        f"{low_key}-visible outcome: {high_out!r} vs "
+                        f"{low_out!r}"
+                    ),
+                    state=state, event=event,
+                ))
+    return findings
+
+
+#: the refinement pairs checked by the full sweep
+REFINEMENT_PAIRS = (("ceplus", "ce"), ("ce", "mesi"))
+
+
+def check_refinements(
+    loaded: InstrumentedProtocols | None = None,
+) -> list[Finding]:
+    findings: list[Finding] = []
+    for high_key, low_key in REFINEMENT_PAIRS:
+        findings.extend(check_refinement(high_key, low_key, loaded))
+    return findings
+
+
+__all__ = [
+    "COHERENCE_COUNTERS",
+    "METADATA_COUNTERS",
+    "REFINEMENT_PAIRS",
+    "check_refinement",
+    "check_refinements",
+    "project_to_ce",
+    "project_to_mesi",
+]

@@ -1,0 +1,652 @@
+"""Abstract state vocabulary and machine encoder for the induction.
+
+The inductive argument is: *every* machine state satisfying the nine
+invariants, restricted to one focus line, is expressible in a finite
+vocabulary; executing any event of the alphabet from any vocabulary
+state must land in a state that satisfies the invariants again.  This
+module owns the vocabulary (frozen dataclasses per protocol family),
+the constructive generators, and the encoder that writes an abstract
+state onto a live protocol instance (``reset`` + ``apply``) so the
+real dispatch code — not a re-implementation — executes the step.
+
+Geometry is the model checker's: two cores, two-line L1s, one focus
+line (address 0), 4-byte accesses at line offsets 0 and 8, so the two
+byte masks ``B0``/``B1`` are disjoint and the whole mask algebra is
+exercised with four mask values.
+
+Region timeline (must satisfy the ``region-count`` invariant, i.e.
+``region[core] == boundaries[core]``):
+
+* MESI family: every core is in region 1 (one boundary behind us), so
+  "stale" payloads carry region 0 with *nonzero* masks — the encoding
+  that distinguishes the dead-region guard from the mask check.
+* ARC: every core is in region 2.  Starts are deliberately asymmetric
+  (core 0 at 380, core 1 at 300, horizon 300) so core 0's region-1 end
+  stamp (380) still *overlaps* core 1's running region while core 1's
+  own region-1 end (300) is at the horizon and reclaimable — both
+  temporal branches of ``_entry_overlaps`` are populated.  In a
+  two-core system the later-starting core's ended entries are always
+  dead (its end is the horizon), so the asymmetry is physical, not a
+  modelling shortcut.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from ..common.bitops import byte_mask
+from ..common.config import CacheConfig, ProtocolKind, SystemConfig
+from ..modelcheck.workload import ACCESS_SIZE, MCEvent
+from ..protocols.base import E, M, O, S, STATE_NAMES
+from ..trace.events import ACQUIRE, BARRIER, READ, RELEASE, WRITE
+
+#: the single focus line (line address 0, homed at bank 0)
+LINE = 0
+LINE_SIZE = 64
+#: the two disjoint access masks: 4 bytes at offsets 0 and 8
+OFFSETS = (0, 8)
+B0 = byte_mask(0, ACCESS_SIZE, LINE_SIZE)
+B1 = byte_mask(8, ACCESS_SIZE, LINE_SIZE)
+
+#: MESI-family timeline: current region 1, stale payloads carry 0
+CUR_REGION = 1
+OLD_REGION = 0
+#: ARC timeline (see module docstring)
+ARC_REGION = 2
+ARC_STARTS = (380, 300)
+ARC_ENDS = ({1: 380}, {1: 300})
+ARC_HORIZON = 300
+#: cycle of the single inducted step — past every region start
+STEP_CYCLE = 448
+
+#: verifier protocol keys.  ``mesi`` is the pure protocol
+#: (use_owned_state off), ``moesi`` the owned-state variant the
+#: modelcheck ``mesi`` key actually runs; both share MesiProtocol.
+PROTOVER_KEYS = ("mesi", "moesi", "ce", "ceplus", "arc")
+
+#: protover key -> modelcheck driver key for trace concretization
+REPLAY_KEYS = {
+    "mesi": "mesi",
+    "moesi": "mesi",
+    "ce": "ce",
+    "ceplus": "ceplus",
+    "ce+": "ceplus",
+    "arc": "arc",
+}
+
+_KIND = {
+    "mesi": ProtocolKind.MESI,
+    "moesi": ProtocolKind.MESI,
+    "ce": ProtocolKind.CE,
+    "ceplus": ProtocolKind.CEPLUS,
+    "ce+": ProtocolKind.CEPLUS,
+    "arc": ProtocolKind.ARC,
+}
+
+
+def protover_config(key: str) -> SystemConfig:
+    """The model checker's tiny machine, with the owned-state knob made
+    explicit so ``mesi`` and ``moesi`` are genuinely different tables."""
+    return SystemConfig(
+        num_cores=2,
+        protocol=_KIND[key],
+        l1=CacheConfig(size=128, assoc=2, line_size=64, hit_latency=1),
+        llc_bank=CacheConfig(size=512, assoc=8, line_size=64, hit_latency=10),
+        use_owned_state=(key == "moesi"),
+    )
+
+
+# --------------------------------------------------------------------------
+# events
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Event:
+    """One alphabet symbol: who does what to the focus line."""
+
+    kind: str  # R W REL ACQ BARRIER EVICT FINALIZE
+    core: int = 0
+    offset: int = 0
+
+    @property
+    def is_access(self) -> bool:
+        return self.kind in ("R", "W")
+
+    @property
+    def mask(self) -> int:
+        return byte_mask(self.offset, ACCESS_SIZE, LINE_SIZE)
+
+    def label(self) -> str:
+        if self.is_access:
+            return f"core{self.core} {self.kind}@{self.offset}"
+        if self.kind == "FINALIZE":
+            return "FINALIZE"
+        return f"core{self.core} {self.kind}"
+
+    def to_mc(self) -> MCEvent | None:
+        """The modelcheck event this symbol corresponds to (``None``
+        for the EVICT/FINALIZE pseudo-events the driver cannot issue)."""
+        table = {
+            "R": READ, "W": WRITE, "REL": RELEASE,
+            "ACQ": ACQUIRE, "BARRIER": BARRIER,
+        }
+        if self.kind not in table:
+            return None
+        if self.is_access:
+            return MCEvent(table[self.kind], slot=LINE, offset=self.offset)
+        return MCEvent(table[self.kind])
+
+
+def events_for(key: str) -> tuple[Event, ...]:
+    events: list[Event] = []
+    for core in (0, 1):
+        for kind in ("R", "W"):
+            for offset in OFFSETS:
+                events.append(Event(kind, core, offset))
+        events.append(Event("REL", core))
+        events.append(Event("ACQ", core))
+        if key == "arc":
+            events.append(Event("BARRIER", core))
+        events.append(Event("EVICT", core))
+    if key == "arc":
+        events.append(Event("FINALIZE"))
+    return tuple(events)
+
+
+# --------------------------------------------------------------------------
+# MESI-family vocabulary
+# --------------------------------------------------------------------------
+
+
+def _mask_label(read_mask: int, write_mask: int) -> str:
+    def bytes_of(mask: int) -> str:
+        return "".join(str(off) for off in OFFSETS
+                       if mask & byte_mask(off, ACCESS_SIZE, LINE_SIZE))
+
+    parts = []
+    if read_mask:
+        parts.append("r" + bytes_of(read_mask))
+    if write_mask:
+        parts.append("w" + bytes_of(write_mask))
+    return "".join(parts)
+
+
+@dataclass(frozen=True)
+class Slot:
+    """One core's cached copy of the focus line (MESI family)."""
+
+    state: int
+    read_mask: int = 0
+    write_mask: int = 0
+    live: bool = True  # region tag == the core's current region
+
+    def label(self) -> str:
+        tag = STATE_NAMES[self.state]
+        masks = _mask_label(self.read_mask, self.write_mask)
+        if masks:
+            tag += "·" + masks
+        return tag if self.live else "~" + tag
+
+    def klass(self) -> str:
+        """Mask-free class used for table rows and determinism keys."""
+        return STATE_NAMES[self.state] if self.live else "~" + (
+            STATE_NAMES[self.state]
+        )
+
+
+@dataclass(frozen=True)
+class Meta:
+    """One core's spilled access-information entry (CE family)."""
+
+    read_mask: int
+    write_mask: int
+    live: bool
+
+    def label(self) -> str:
+        tag = f"spill({_mask_label(self.read_mask, self.write_mask)})"
+        return tag if self.live else "~" + tag
+
+
+@dataclass(frozen=True)
+class MesiState:
+    """Focus-line configuration for MESI/MOESI/CE/CE+."""
+
+    slots: tuple[Slot | None, ...]
+    meta: tuple[Meta | None, ...] = (None, None)
+    aim: str | None = None  # None (no AIM) | absent | clean | dirty
+
+    def label(self) -> str:
+        parts = []
+        for core in range(len(self.slots)):
+            bits = [self.slots[core].label() if self.slots[core] else "I"]
+            if self.meta[core] is not None:
+                bits.append(self.meta[core].label())
+            parts.append(f"c{core}:" + "+".join(bits))
+        if self.aim is not None:
+            parts.append(f"aim:{self.aim}")
+        return " ".join(parts)
+
+    def class_vector(self) -> tuple:
+        cores = []
+        for core in range(len(self.slots)):
+            slot = self.slots[core]
+            meta = self.meta[core]
+            cores.append((
+                slot.klass() if slot else "I",
+                "" if meta is None else ("spill" if meta.live else "~spill"),
+            ))
+        return (tuple(cores), self.aim)
+
+    def acting_class(self, core: int) -> str:
+        slot = self.slots[core]
+        return slot.klass() if slot else "I"
+
+
+#: live cached-mask shapes for CE/CE+ (read/write over the two bytes);
+#: stale copies keep *nonzero* masks — that is what the dead-region
+#: guard in ``_check_remote`` exists to ignore
+_LIVE_MASKS = ((0, 0), (B0, 0), (0, B0), (0, B1), (B0, B1))
+_STALE_MASKS = ((B0, B0),)
+#: spilled-metadata shapes per core
+_META_OPTIONS = (
+    None,
+    Meta(B0, B0, live=False),
+    Meta(B0, 0, live=True),
+    Meta(0, B1, live=True),
+)
+_AIM_OPTIONS = ("absent", "clean", "dirty")
+
+
+def _mesi_slot_options(key: str) -> tuple[Slot | None, ...]:
+    states = [S, E, M]
+    if key == "moesi":
+        states.append(O)
+    options: list[Slot | None] = [None]
+    if key in ("mesi", "moesi"):
+        options.extend(Slot(state) for state in states)
+        return tuple(options)
+    for state in states:
+        for read_mask, write_mask in _LIVE_MASKS:
+            options.append(Slot(state, read_mask, write_mask, live=True))
+        for read_mask, write_mask in _STALE_MASKS:
+            options.append(Slot(state, read_mask, write_mask, live=False))
+    return tuple(options)
+
+
+def mesi_states(key: str) -> Iterator[MesiState]:
+    """Constructive candidates; the induction filters them through the
+    real ``check_state`` so the precondition is exactly Inv ∩ vocab."""
+    slots = _mesi_slot_options(key)
+    metas: Iterable = _META_OPTIONS if key in ("ce", "ceplus") else (None,)
+    aims: Iterable = _AIM_OPTIONS if key == "ceplus" else (None,)
+    for slot0 in slots:
+        for slot1 in slots:
+            # cheap structural pre-filter: two owners can never pass
+            # swmr, skip before paying an encode
+            owners = sum(
+                1 for slot in (slot0, slot1)
+                if slot is not None and slot.state in (E, M, O)
+            )
+            if owners > 1:
+                continue
+            exclusive = any(
+                slot is not None and slot.state in (E, M)
+                for slot in (slot0, slot1)
+            )
+            if exclusive and slot0 is not None and slot1 is not None:
+                continue
+            for meta0 in metas:
+                # a live spill implies the line left this core's cache:
+                # eviction spilled it, and any refetch refills/removes
+                # the entry — a cached copy (even a stale one) cannot
+                # coexist with it
+                if meta0 is not None and meta0.live and slot0 is not None:
+                    continue
+                for meta1 in metas:
+                    if meta1 is not None and meta1.live and slot1 is not None:
+                        continue
+                    for aim in aims:
+                        yield MesiState(
+                            slots=(slot0, slot1),
+                            meta=(meta0, meta1),
+                            aim=aim,
+                        )
+
+
+# --------------------------------------------------------------------------
+# ARC vocabulary
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ArcSlot:
+    """One core's cached copy of the focus line (ARC)."""
+
+    shared: bool
+    dirty: bool
+    read_mask: int = 0
+    write_mask: int = 0
+    reg_read_mask: int = 0
+    reg_write_mask: int = 0
+    live: bool = True
+
+    @property
+    def delta(self) -> int:
+        return (self.read_mask & ~self.reg_read_mask) | (
+            self.write_mask & ~self.reg_write_mask
+        )
+
+    def label(self) -> str:
+        tag = "Sh" if self.shared else "P"
+        if self.dirty:
+            tag += "+d"
+        masks = _mask_label(self.read_mask, self.write_mask)
+        reg = _mask_label(self.reg_read_mask, self.reg_write_mask)
+        if masks or reg:
+            tag += "·" + masks + ("/" + reg if reg else "")
+        return tag if self.live else "~" + tag
+
+    def klass(self) -> str:
+        tag = "Sh" if self.shared else "P"
+        if self.dirty:
+            tag += "+d"
+        if self.shared and self.live and self.delta:
+            tag += "+Δ"
+        return tag if self.live else "~" + tag
+
+
+@dataclass(frozen=True)
+class Bank:
+    """One registered access-information entry in the home bank."""
+
+    read_mask: int
+    write_mask: int
+    region: int  # ARC_REGION = live; ARC_REGION-1 = ended
+
+    def label(self) -> str:
+        masks = _mask_label(self.read_mask, self.write_mask)
+        if self.region == ARC_REGION:
+            return f"B({masks})"
+        return f"B{self.region}({masks})"
+
+
+@dataclass(frozen=True)
+class ArcState:
+    """Focus-line configuration for ARC: caches + bank + owner table."""
+
+    slots: tuple[ArcSlot | None, ...]
+    bank: tuple[tuple[Bank, ...], ...]
+    owner: int | str | None  # None | 0 | 1 | "shared"
+
+    def label(self) -> str:
+        parts = []
+        for core in range(len(self.slots)):
+            bits = [self.slots[core].label() if self.slots[core] else "I"]
+            bits.extend(entry.label() for entry in self.bank[core])
+            parts.append(f"c{core}:" + "+".join(bits))
+        parts.append(f"owner:{self.owner}")
+        return " ".join(parts)
+
+    def class_vector(self) -> tuple:
+        cores = []
+        for core in range(len(self.slots)):
+            slot = self.slots[core]
+            shape = tuple(
+                "live" if entry.region == ARC_REGION else "ended"
+                for entry in self.bank[core]
+            )
+            cores.append((slot.klass() if slot else "I", shape))
+        return (tuple(cores), self.owner)
+
+    def acting_class(self, core: int) -> str:
+        slot = self.slots[core]
+        return slot.klass() if slot else "I"
+
+
+#: private copies: no registered bits, byte masks accumulate locally
+_ARC_PRIVATE = tuple(
+    ArcSlot(shared=False, dirty=dirty, read_mask=r, write_mask=w)
+    for r, w in ((0, 0), (B0, 0), (0, B0))
+    for dirty in (False, True)
+) + (
+    ArcSlot(shared=False, dirty=False, read_mask=B0, live=False),
+)
+
+#: shared copies: (read, write, reg_read, reg_write) shapes — fully
+#: registered, unregistered delta pending, and freshly refreshed —
+#: plus one stale survivor of a release-only boundary (registered bits
+#: from the ended region; dirty impossible: boundaries flush those)
+_ARC_SHARED = tuple(
+    ArcSlot(shared=True, dirty=dirty, read_mask=r, write_mask=w,
+            reg_read_mask=rr, reg_write_mask=rw)
+    for r, w, rr, rw in (
+        (B0, 0, B0, 0),   # registered read
+        (0, B1, 0, B1),   # registered write
+        (B0, 0, 0, 0),    # unregistered read delta
+        (0, B1, 0, 0),    # unregistered write delta
+        (0, 0, 0, 0),     # refreshed, untouched this region
+    )
+    for dirty in (False, True)
+) + (
+    ArcSlot(shared=True, dirty=False, read_mask=B0, reg_read_mask=B0,
+            live=False),
+)
+
+_BANK_LIVE = (Bank(B0, 0, ARC_REGION), Bank(0, B1, ARC_REGION))
+_BANK_ENDED = Bank(0, B0, ARC_REGION - 1)
+
+
+def _arc_bank_options(
+    core: int, slot: ArcSlot | None
+) -> tuple[tuple[Bank, ...], ...]:
+    """Bank-entry shapes consistent with ``core``'s cached copy.
+
+    A live cached shared copy with registered bits *is* the newest bank
+    entry (registration wrote both); a live copy with no registered
+    bits has not registered this region, so it has no live entry.  Only
+    core 0's ended entries are kept by ``_entry_overlaps`` (end 380 >
+    horizon); core 1's (end 300 = horizon) exist to be reclaimed.
+    """
+    if slot is not None and slot.shared and slot.live:
+        registered = Bank(slot.reg_read_mask, slot.reg_write_mask, ARC_REGION)
+        if slot.reg_read_mask | slot.reg_write_mask:
+            options = [(registered,)]
+            if core == 0:
+                options.append((_BANK_ENDED, registered))
+            return tuple(options)
+        return ((), (_BANK_ENDED,))
+    # no live registration by this core: free shapes
+    options: list[tuple[Bank, ...]] = [()]
+    options.extend((entry,) for entry in _BANK_LIVE)
+    options.append((_BANK_ENDED,))
+    if core == 0:
+        options.append((_BANK_ENDED, _BANK_LIVE[0]))
+    return tuple(options)
+
+
+def arc_states() -> Iterator[ArcState]:
+    no_bank = ((), ())
+    yield ArcState(slots=(None, None), bank=no_bank, owner=None)
+    # private: only the owner caches it; only the owner can have
+    # registered bank entries (evict-upload then re-fetch)
+    for owner in (0, 1):
+        for slot in _ARC_PRIVATE:
+            slots = (slot, None) if owner == 0 else (None, slot)
+            for entries in _arc_bank_options(owner, None):
+                bank = (entries, ()) if owner == 0 else ((), entries)
+                yield ArcState(slots=slots, bank=bank, owner=owner)
+    # shared: any combination of copies (including none — everyone
+    # evicted), bank shapes tied to each core's registered bits
+    shared_options: tuple[ArcSlot | None, ...] = (None,) + _ARC_SHARED
+    for slot0 in shared_options:
+        for slot1 in shared_options:
+            for bank0 in _arc_bank_options(0, slot0):
+                for bank1 in _arc_bank_options(1, slot1):
+                    yield ArcState(
+                        slots=(slot0, slot1),
+                        bank=(bank0, bank1),
+                        owner="shared",
+                    )
+
+
+def states_for(key: str) -> Iterator[MesiState] | Iterator[ArcState]:
+    if key == "arc":
+        return arc_states()
+    return mesi_states(key)
+
+
+# --------------------------------------------------------------------------
+# encoder: abstract state -> live protocol instance
+# --------------------------------------------------------------------------
+
+
+def _zero_stats(stats) -> None:
+    import dataclasses as _dc
+
+    for field in _dc.fields(stats):
+        value = getattr(stats, field.name)
+        if isinstance(value, list):
+            value.clear()
+        elif isinstance(value, (int, float)):
+            setattr(stats, field.name, 0)
+    # record_conflict's lazily created dedup set
+    if hasattr(stats, "_conflict_signatures"):
+        stats._conflict_signatures.clear()
+
+
+def reset(protocol) -> None:
+    """Return a live instance to the blank post-construction state.
+
+    ``invalidate_where`` drops payloads without firing ``on_evict``
+    callbacks, so no spill/flush side effects run during the wipe.
+    """
+    cores = protocol.cfg.num_cores
+    for core in range(cores):
+        protocol.l1[core].invalidate_where(lambda _addr, _payload: True)
+    for bank in protocol.machine.llc_banks:
+        bank.clear()
+    protocol.region = [0] * cores
+    protocol.region_start = [0] * cores
+    protocol._now = 0
+    if hasattr(protocol, "directory"):
+        protocol.directory.clear()
+    if hasattr(protocol, "meta_table"):
+        protocol.meta_table._table.clear()
+        for log in protocol.spill_log:
+            log.clear()
+    if hasattr(protocol, "aim"):
+        for aim_slice in protocol.aim:
+            aim_slice.cache.clear()
+    if hasattr(protocol, "owner_table"):
+        protocol.owner_table.clear()
+        protocol.access_info.clear()
+        for ends in protocol.region_ends:
+            ends.clear()
+        for queue in protocol.dirty_shared:
+            queue.clear()
+        for queue in protocol.pending_delta:
+            queue.clear()
+        for banks in protocol._touched_banks:
+            banks.clear()
+        protocol._horizon = 0
+    _zero_stats(protocol.machine.stats)
+
+
+def apply_state(protocol, state, loaded) -> None:
+    """Encode ``state`` onto a freshly reset ``protocol`` instance.
+
+    Payloads are built from the *shadow* line classes (``loaded``) so
+    instrumented dispatch code manipulates its own definitions.  Stats
+    are re-zeroed at the end: encoding is scaffolding, not behavior.
+    """
+    if isinstance(state, ArcState):
+        _apply_arc(protocol, state, loaded)
+    else:
+        _apply_mesi(protocol, state, loaded)
+    _zero_stats(protocol.machine.stats)
+
+
+def _apply_mesi(protocol, state: MesiState, loaded) -> None:
+    line_cls = loaded.line_class("MesiLine")
+    cores = protocol.cfg.num_cores
+    protocol.region = [CUR_REGION] * cores
+    protocol.region_start = [STEP_CYCLE - LINE_SIZE] * cores
+    for core, slot in enumerate(state.slots):
+        if slot is None:
+            continue
+        payload = line_cls(slot.state)
+        payload.read_mask = slot.read_mask
+        payload.write_mask = slot.write_mask
+        payload.region = CUR_REGION if slot.live else OLD_REGION
+        protocol.l1[core].insert(LINE, payload)
+    owners = [
+        core for core, slot in enumerate(state.slots)
+        if slot is not None and slot.state in (E, M, O)
+    ]
+    sharers = [
+        core for core, slot in enumerate(state.slots)
+        if slot is not None and slot.state == S
+    ]
+    if owners or sharers:
+        entry = protocol._dir(LINE)
+        entry.owner = owners[0] if len(owners) == 1 else -1
+        for core in sharers:
+            entry.sharers |= 1 << core
+    if hasattr(protocol, "meta_table"):
+        for core, meta in enumerate(state.meta):
+            if meta is None:
+                continue
+            region = CUR_REGION if meta.live else OLD_REGION
+            protocol.meta_table.upsert(
+                LINE, core, meta.read_mask, meta.write_mask, region
+            )
+            if meta.live:
+                protocol.spill_log[core].add(LINE)
+    if hasattr(protocol, "aim") and state.aim not in (None, "absent"):
+        bank = protocol.machine.home_bank(LINE)
+        protocol.aim[bank]._install(
+            LINE, dirty=(state.aim == "dirty"), cycle=0
+        )
+
+
+def _apply_arc(protocol, state: ArcState, loaded) -> None:
+    from ..protocols.arc import SHARED
+
+    line_cls = loaded.line_class("ArcLine")
+    entry_cls = loaded.line_class("ArcEntry")
+    cores = protocol.cfg.num_cores
+    protocol.region = [ARC_REGION] * cores
+    protocol.region_start = list(ARC_STARTS)
+    protocol._horizon = ARC_HORIZON
+    for core in range(cores):
+        protocol.region_ends[core].update(ARC_ENDS[core])
+    for core, slot in enumerate(state.slots):
+        if slot is None:
+            continue
+        payload = line_cls(shared=slot.shared)
+        payload.dirty = slot.dirty
+        payload.read_mask = slot.read_mask
+        payload.write_mask = slot.write_mask
+        payload.reg_read_mask = slot.reg_read_mask
+        payload.reg_write_mask = slot.reg_write_mask
+        payload.region = ARC_REGION if slot.live else ARC_REGION - 1
+        protocol.l1[core].insert(LINE, payload)
+        if slot.shared and slot.dirty:
+            protocol.dirty_shared[core].add(LINE)
+        if slot.shared and slot.live and slot.delta:
+            protocol.pending_delta[core].add(LINE)
+    if state.owner is not None:
+        protocol.owner_table[LINE] = (
+            SHARED if state.owner == "shared" else state.owner
+        )
+    per_core: dict[int, list] = {}
+    for core, entries in enumerate(state.bank):
+        if entries:
+            per_core[core] = [
+                entry_cls(entry.read_mask, entry.write_mask, entry.region)
+                for entry in entries
+            ]
+    if per_core:
+        protocol.access_info[LINE] = per_core

@@ -629,6 +629,7 @@ class Interp:
         elements = self._unrollable(iterable)
         if elements is not None:
             return self._unrolled_loop(node, elements, env)
+        self._note_widened(iterable, node.lineno)
         loopvar = self._abstract_loop_var(iterable)
         self.assign_target(node.target, loopvar, env)
         definite_body = (
@@ -654,6 +655,24 @@ class Interp:
         if isinstance(iterable, dict) and len(iterable) <= UNROLL_LIMIT:
             return list(iterable.keys())
         return None
+
+    def _note_widened(self, iterable: Any, lineno: int) -> None:
+        """Surface precision loss when a loop with a *known* trip count
+        is too long to unroll: everything under it falls back to the
+        abstract (MAY-classified) loop body, and that demotion must be
+        visible in the report, not silent."""
+        if isinstance(iterable, RangeVal) and iterable.concrete is not None:
+            count = len(iterable.concrete)
+        elif isinstance(iterable, (list, tuple, dict)):
+            count = len(iterable)
+        else:
+            return  # genuinely unknown trip count: already abstract
+        if count > UNROLL_LIMIT:
+            self.note(
+                f"analysis widened at line {lineno}: concrete trip count "
+                f"{count} exceeds the unroll limit {UNROLL_LIMIT}; "
+                "classifications under this loop are approximate"
+            )
 
     def _abstract_loop_var(self, iterable: Any) -> Any:
         if isinstance(iterable, RangeVal):
@@ -1226,6 +1245,8 @@ class Interp:
         elements = self._unrollable(iterable)
         single = len(node.generators) == 1
         if elements is None or not single:
+            if elements is None:
+                self._note_widened(iterable, node.lineno)
             self._indef_depth += 1
             try:
                 self.assign_target(

@@ -109,11 +109,11 @@ class StaticReport:
         the mirrored layout could not be trusted)."""
         if self.line_codes is None:
             return None
-        lines = np.array(sorted(self.line_codes), dtype=np.uint64)
+        line_arr = np.array(sorted(self.line_codes), dtype=np.uint64)
         codes = np.array(
-            [self.line_codes[int(line)] for line in lines], dtype=np.int64
+            [self.line_codes[int(line)] for line in line_arr], dtype=np.int64
         )
-        return LineClassification(lines, codes)
+        return LineClassification(line_arr, codes)
 
     def line_class_counts(self) -> dict[str, int]:
         counts = {"private": 0, "ro_shared": 0, "contended": 0}

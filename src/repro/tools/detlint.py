@@ -54,13 +54,16 @@ from dataclasses import dataclass
 from pathlib import Path
 
 #: checked by default: the modules whose control flow decides schedules,
-#: plus the harness and CLI tools whose file sweeps feed reports
+#: plus the harness and CLI tools whose file sweeps feed reports, plus
+#: the analyzers (statics, protover) whose reports must be reproducible
 DEFAULT_PATHS = (
     "src/repro/protocols",
     "src/repro/core",
     "src/repro/capture",
     "src/repro/harness",
     "src/repro/tools",
+    "src/repro/statics",
+    "src/repro/protover",
 )
 
 PRAGMA = "detlint: ok"

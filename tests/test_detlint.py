@@ -2,6 +2,7 @@
 
 import json
 import textwrap
+from pathlib import Path
 
 from repro.tools.detlint import DEFAULT_PATHS, lint_paths, lint_source, main
 
@@ -181,6 +182,29 @@ class TestRepoIsClean:
     def test_default_paths_cover_harness_and_tools(self):
         assert "src/repro/harness" in DEFAULT_PATHS
         assert "src/repro/tools" in DEFAULT_PATHS
+
+    def test_every_package_is_lint_covered_or_exempt(self):
+        """Adding a new src/repro package must be a conscious lint
+        decision: either it joins DEFAULT_PATHS or the exemption list
+        below (with a reason)."""
+        # determinism is enforced elsewhere for these: pure data /
+        # leaf-arithmetic modules with no iteration-driven schedules
+        # (common, mem, noc, trace, energy, verify), report-side
+        # consumers of already-deterministic artifacts (analysis,
+        # synth), and the modelcheck explorer whose BFS order is pinned
+        # by its own determinism tests
+        exempt = {
+            "analysis", "common", "energy", "mem", "modelcheck", "noc",
+            "synth", "trace", "verify",
+        }
+        covered = {Path(p).name for p in DEFAULT_PATHS}
+        src = Path(__file__).resolve().parent.parent / "src" / "repro"
+        packages = {
+            child.name for child in src.iterdir()
+            if child.is_dir() and (child / "__init__.py").exists()
+        }
+        assert packages == covered | exempt
+        assert not covered & exempt
 
 
 class TestCli:

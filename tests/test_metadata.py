@@ -1,0 +1,164 @@
+"""Unit tests for ``protocols/metadata.py`` — the access-information
+table shared by CE, CE+, and ARC.
+
+``test_ce.py`` exercises spills through the full protocol; these tests
+pin the table's own contract: upsert's merge-vs-reset split on the
+region tag, ``remove``'s empty-dict cleanup, ``live_others``'s lazy
+reclamation of stale entries, and ``conflicts_with``'s byte-precise
+read/write asymmetry — plus one protocol-level spill → refill round
+trip that checks the *table contents* (not just the counters) survive
+the journey through DRAM and back.
+"""
+
+from __future__ import annotations
+
+from repro.common.config import CacheConfig, SystemConfig
+from repro.core.machine import Machine
+from repro.protocols.ce import CeProtocol
+from repro.protocols.metadata import AccessInfoTable, SpilledEntry
+
+LINE = 0x40
+
+
+class TestSpilledEntry:
+    def test_merge_accumulates_masks(self):
+        entry = SpilledEntry(0x0F, 0x03, region=2)
+        entry.merge(0x30, 0x0C)
+        assert (entry.read_mask, entry.write_mask) == (0x3F, 0x0F)
+        assert entry.region == 2  # merge never touches the region tag
+
+    def test_write_conflicts_with_any_recorded_access(self):
+        entry = SpilledEntry(read_mask=0x0F, write_mask=0xF0, region=1)
+        assert entry.conflicts_with(0x18, is_write=True) == 0x18
+        assert entry.conflicts_with(0x0F, is_write=True) == 0x0F
+
+    def test_read_conflicts_only_with_recorded_writes(self):
+        entry = SpilledEntry(read_mask=0x0F, write_mask=0xF0, region=1)
+        assert entry.conflicts_with(0x0F, is_write=False) == 0
+        assert entry.conflicts_with(0xFF, is_write=False) == 0xF0
+
+    def test_byte_disjoint_masks_never_conflict(self):
+        entry = SpilledEntry(read_mask=0x0F, write_mask=0x0F, region=1)
+        assert entry.conflicts_with(0xF0, is_write=True) == 0
+
+
+class TestAccessInfoTable:
+    def test_upsert_merges_within_same_region(self):
+        table = AccessInfoTable()
+        first = table.upsert(LINE, 0, 0x0F, 0x00, region=3)
+        second = table.upsert(LINE, 0, 0x00, 0xF0, region=3)
+        assert second is first  # same record, merged in place
+        assert (first.read_mask, first.write_mask) == (0x0F, 0xF0)
+        assert len(table) == 1
+
+    def test_upsert_resets_when_region_moved_on(self):
+        table = AccessInfoTable()
+        old = table.upsert(LINE, 0, 0xFF, 0xFF, region=3)
+        fresh = table.upsert(LINE, 0, 0x01, 0x00, region=4)
+        assert fresh is not old
+        assert (fresh.read_mask, fresh.write_mask, fresh.region) == (
+            0x01, 0x00, 4,
+        )
+
+    def test_upsert_keeps_cores_independent(self):
+        table = AccessInfoTable()
+        table.upsert(LINE, 0, 0x0F, 0x00, region=1)
+        table.upsert(LINE, 1, 0x00, 0xF0, region=7)
+        per_line = table.get_line(LINE)
+        assert set(per_line) == {0, 1}
+        assert per_line[0].read_mask == 0x0F
+        assert per_line[1].write_mask == 0xF0
+
+    def test_remove_returns_entry_and_reclaims_empty_line(self):
+        table = AccessInfoTable()
+        table.upsert(LINE, 0, 0x0F, 0x00, region=1)
+        removed = table.remove(LINE, 0)
+        assert removed is not None and removed.read_mask == 0x0F
+        # the per-line dict must be gone, not left empty
+        assert table.get_line(LINE) is None
+        assert len(table) == 0
+
+    def test_remove_missing_is_harmless(self):
+        table = AccessInfoTable()
+        assert table.remove(LINE, 0) is None
+        table.upsert(LINE, 0, 0x01, 0x00, region=1)
+        assert table.remove(LINE, 5) is None  # wrong core: no-op
+        assert len(table) == 1
+
+    def test_live_others_filters_self_and_stale(self):
+        table = AccessInfoTable()
+        table.upsert(LINE, 0, 0x0F, 0x00, region=2)  # the asking core
+        table.upsert(LINE, 1, 0x00, 0xF0, region=5)  # live other
+        table.upsert(LINE, 2, 0xFF, 0x00, region=1)  # stale (region 1 != 9)
+        live = table.live_others(LINE, 0, {0: 2, 1: 5, 2: 9})
+        assert [(core, e.write_mask) for core, e in live] == [(1, 0xF0)]
+
+    def test_live_others_reclaims_stale_entries(self):
+        """Region-close clearing is lazy: stale entries survive until a
+        lookup walks past them, then vanish."""
+        table = AccessInfoTable()
+        table.upsert(LINE, 0, 0x0F, 0x00, region=1)
+        table.upsert(LINE, 1, 0x00, 0xF0, region=1)
+        # both regions moved on: everything on the line is stale
+        assert table.live_others(LINE, 0, {0: 2, 1: 2}) == []
+        assert table.get_line(LINE) is None  # fully reclaimed
+        assert len(table) == 0
+
+    def test_live_others_reclaims_own_stale_entry_too(self):
+        table = AccessInfoTable()
+        table.upsert(LINE, 0, 0x0F, 0x00, region=1)
+        table.upsert(LINE, 1, 0x00, 0xF0, region=4)
+        live = table.live_others(LINE, 0, {0: 8, 1: 4})
+        assert [core for core, _ in live] == [1]
+        assert set(table.get_line(LINE)) == {1}  # own stale record gone
+
+    def test_live_others_on_untracked_line(self):
+        assert AccessInfoTable().live_others(LINE, 0, {0: 1}) == []
+
+    def test_items_enumerates_every_record(self):
+        table = AccessInfoTable()
+        table.upsert(0x40, 0, 0x01, 0x00, region=1)
+        table.upsert(0x40, 1, 0x02, 0x00, region=1)
+        table.upsert(0x80, 3, 0x00, 0x04, region=2)
+        seen = {(line, core) for line, core, _entry in table.items()}
+        assert seen == {(0x40, 0), (0x40, 1), (0x80, 3)}
+        assert len(table) == 3
+
+
+class TestSpillRefillRoundTrip:
+    """One full eviction journey at the protocol level, asserting the
+    table contents (not just counters) round-trip bit-for-bit."""
+
+    def make(self):
+        cfg = SystemConfig(
+            num_cores=2, protocol="ce",
+            l1=CacheConfig(size=256, assoc=2, line_size=64),
+        )
+        machine = Machine(cfg)
+        return machine, CeProtocol(machine)
+
+    def test_eviction_spills_exact_masks_and_refill_restores(self):
+        machine, proto = self.make()
+        conflict_lines = [0x0, 0x80, 0x100]  # one set in the tiny L1
+        proto.access(0, conflict_lines[0], 4, True, 0)     # bytes 0-3 W
+        proto.access(0, conflict_lines[0] + 8, 4, False, 1)  # bytes 8-11 R
+        for line in conflict_lines[1:]:
+            proto.access(0, line, 8, True, 10)  # force the eviction
+
+        entry = proto.meta_table.get_line(conflict_lines[0])[0]
+        assert entry.write_mask == 0x0F
+        assert entry.read_mask == 0xF00
+        assert entry.region == proto.region[0]
+        assert conflict_lines[0] in proto.spill_log[0]
+
+        # refill: re-touching the spilled line restores the exact bits
+        proto.access(0, conflict_lines[0] + 4, 4, False, 50)
+        payload = proto.l1[0].get(conflict_lines[0])
+        assert payload.write_mask == 0x0F
+        assert payload.read_mask == 0xF00 | 0xF0  # restored | new access
+        assert proto.meta_table.get_line(conflict_lines[0]) is None
+        assert conflict_lines[0] not in proto.spill_log[0]
+        # two spills: the forced eviction, plus the refill access itself
+        # evicting another live line from the same full set
+        assert machine.stats.metadata_spills == 2
+        assert machine.stats.metadata_fills == 1

@@ -288,6 +288,19 @@ class TestWorkloadVerdicts:
         report = build_report(analyze_workload("capture-racy-counter", scale=1.0))
         assert report.verdict == MAY_CONFLICT
 
+    def test_truncated_unroll_notes_widening(self):
+        """When a loop's trip count is *known* but over the unroll
+        limit, the MAY demotion must be announced, not silent."""
+        analysis = analyze_workload("capture-racy-counter", scale=1.0)
+        widened = [n for n in analysis.notes if "analysis widened" in n]
+        assert widened, analysis.notes
+        assert "exceeds the unroll limit 32" in widened[0]
+        assert "trip count 60" in widened[0]
+
+    def test_fully_unrolled_loop_has_no_widening_note(self):
+        analysis = analyze_workload("capture-racy-counter", scale=0.2)
+        assert not any("analysis widened" in n for n in analysis.notes)
+
     def test_unknown_workload_name(self):
         with pytest.raises(StaticAnalysisError):
             analyze_workload("capture-nonexistent")
