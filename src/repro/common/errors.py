@@ -64,6 +64,16 @@ class StaticSoundnessError(ReproError):
     soundness bug; results derived from the hint must be discarded."""
 
 
+class ServiceError(ReproError):
+    """A conflict-analysis service request cannot be honored: malformed
+    job spec, unknown workload or trace digest, bad protocol name, or a
+    queue operation attempted from an invalid state.
+
+    Raised at the service boundary (HTTP front door, queue, client) and
+    rendered to clients as a structured error response; never raised
+    for an internal service bug."""
+
+
 # --------------------------------------------------------------------------
 # harness failure taxonomy
 # --------------------------------------------------------------------------

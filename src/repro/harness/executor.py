@@ -447,6 +447,13 @@ class Executor:
         self.point_failures: list[PointFailure] = []
         self._corrupted: set[str] = set()
         self._pool: ProcessPoolExecutor | None = None
+        # snapshot the shared cache's eviction counter: this executor's
+        # manifest must report only the evictions *it* witnessed, or
+        # every short-lived executor over a long-lived cache re-reports
+        # (and write_merged re-sums) its predecessors' evictions
+        self._evictions_at_start = (
+            cache.stats.discarded if cache is not None else 0
+        )
 
     # -- lifecycle -------------------------------------------------------
 
@@ -550,7 +557,9 @@ class Executor:
                 if record is not None:
                     self.manifest.record(*record)
             if self.cache is not None:
-                self.manifest.corrupt_evictions = self.cache.stats.discarded
+                self.manifest.corrupt_evictions = (
+                    self.cache.stats.discarded - self._evictions_at_start
+                )
             if self.checkpoint is not None:
                 self.checkpoint.sync()  # close the group-commit window
 

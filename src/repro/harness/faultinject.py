@@ -170,8 +170,10 @@ class KillPlan:
 
     The durability layer (:mod:`repro.common.durable`) names every
     write site (``cache-entry:tmp-write``, ``checkpoint:append``,
-    ``manifest:pre-rename``, ...) and consults the installed hook
-    there.  A fired site either kills the process outright
+    ``manifest:pre-rename``, and the service's ``queue:<op>:pre-commit``
+    / ``queue:<op>:post-commit`` transaction edges and
+    ``trace-store:upload-write`` / ``trace-store:pre-publish`` upload
+    path) and consults the installed hook there.  A fired site either kills the process outright
     (``os._exit`` — the SIGKILL / power-cut shape) or *tears* the
     write at a seeded byte and then dies.  Decisions hash
     ``(seed, kind, site, occurrence-index)`` exactly like

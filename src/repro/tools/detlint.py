@@ -64,6 +64,7 @@ DEFAULT_PATHS = (
     "src/repro/tools",
     "src/repro/statics",
     "src/repro/protover",
+    "src/repro/service",
 )
 
 PRAGMA = "detlint: ok"
@@ -202,7 +203,7 @@ def _fs_iteration(node: ast.Call) -> str | None:
 
 #: file-path parts that mark a module as writing durable artifacts —
 #: the ROB004 scope (the simulation core writes nothing durable)
-_DURABLE_SCOPES = ("harness", "tools")
+_DURABLE_SCOPES = ("harness", "tools", "service")
 
 #: write-capable file modes (any mode that can truncate or extend)
 def _is_write_mode(node: ast.expr | None) -> bool:

@@ -16,6 +16,13 @@ This tool is the offline recovery path for all of them:
   (:func:`repro.trace.binio.scan_rtb`); repair rewrites the valid
   chunk prefix as a consistent, footer-terminated trace
   (:func:`~repro.trace.binio.salvage_rtb`).
+* **service data directories** — a ``repro-serve`` data dir (detected
+  by its ``queue.sqlite``) checks all three stores at once: the queue
+  DB for ``RUNNING`` jobs whose lease-holding worker died (repair
+  re-queues them — or parks attempt-exhausted ones as ``TIMEOUT`` —
+  via the queue's own :meth:`~repro.service.queue.JobQueue.expire_leases`
+  transition), the trace store for stale upload ``.tmp-*`` residue and
+  torn ``.rtb`` files, and the result cache as any cache directory.
 
 Usage::
 
@@ -53,7 +60,8 @@ class Finding:
     """One verifiable defect in a durable artifact."""
 
     path: str
-    kind: str  # torn-journal | torn-trace | corrupt-entry | stale-tmp | bad-manifest
+    kind: str  # torn-journal | torn-trace | corrupt-entry | stale-tmp
+    #          # | bad-manifest | stale-lease | bad-queue-db
     detail: str
     repairable: bool = True
     repaired: bool = False
@@ -224,6 +232,99 @@ def check_cache_dir(
         check_trace(trace, report, repair)
 
 
+def check_queue_db(path: Path, report: FsckReport, repair: bool) -> None:
+    """A service job-queue DB: find leases whose worker died.
+
+    A ``RUNNING`` job with an expired ``deadline`` means the claiming
+    worker stopped heartbeating — it was SIGKILLed, wedged, or its
+    whole host went down.  The job is *not lost* (that is the queue's
+    old-or-new guarantee); it is merely orphaned until something runs
+    the expiry transition.  A live server does that on every claim;
+    this check is the offline path for a downed service's DB.
+    """
+    import sqlite3
+    import time
+
+    from ..service.models import JobState
+    from ..service.queue import JobQueue
+
+    report.checked += 1
+    try:
+        queue = JobQueue(path)
+    except Exception as exc:  # noqa: B902 - sqlite/schema damage surfaces here
+        report.add(Finding(
+            path=str(path), kind="bad-queue-db",
+            detail=f"cannot open as a job queue: {exc}", repairable=False,
+        ))
+        return
+    with queue:
+        now = time.time()
+        stale = [
+            record for record in queue.list_jobs(JobState.RUNNING, limit=10_000)
+            if record.deadline is not None and record.deadline < now
+        ]
+        repaired_states: dict[str, str] = {}
+        if repair and stale:
+            try:
+                repaired_states = {
+                    job_id: state.value
+                    for job_id, state in queue.expire_leases()
+                }
+            except sqlite3.OperationalError as exc:
+                report.add(Finding(
+                    path=str(path), kind="bad-queue-db",
+                    detail=f"cannot repair (DB locked?): {exc}",
+                    repairable=False,
+                ))
+                repair = False
+        for record in stale:
+            finding = Finding(
+                path=str(path),
+                kind="stale-lease",
+                detail=(
+                    f"job {record.id[:12]} RUNNING for {record.owner!r} "
+                    f"but its lease expired "
+                    f"{now - record.deadline:.0f}s ago "
+                    f"(attempt {record.attempts}/{record.max_attempts})"
+                ),
+            )
+            if repair:
+                finding.repaired = True
+                finding.repair_note = (
+                    f"re-queued as {repaired_states.get(record.id, 'PENDING')}"
+                )
+            report.add(finding)
+
+
+def check_service_dir(
+    root: Path, report: FsckReport, repair: bool, tmp_age: float
+) -> None:
+    """A ``repro-serve`` data dir: queue DB + trace store + result cache."""
+    check_queue_db(root / "queue.sqlite", report, repair)
+    traces = root / "traces"
+    if traces.is_dir():
+        for tmp in durable.collect_stale_tmps(traces, tmp_age):
+            report.checked += 1
+            finding = Finding(
+                path=str(tmp), kind="stale-tmp",
+                detail="orphaned trace-upload temp file",
+            )
+            if repair:
+                tmp.unlink(missing_ok=True)
+                finding.repaired = True
+                finding.repair_note = "deleted"
+            report.add(finding)
+        for trace in sorted(traces.rglob("*.rtb")):
+            check_trace(trace, report, repair)
+    cache = root / "cache"
+    if cache.is_dir():
+        check_cache_dir(cache, report, repair, tmp_age)
+
+
+def _looks_like_service_dir(path: Path) -> bool:
+    return (path / "queue.sqlite").is_file()
+
+
 def _looks_like_cache_dir(path: Path) -> bool:
     return (
         (path / "manifest.json").is_file()
@@ -239,7 +340,9 @@ def fsck_paths(
     report = FsckReport()
     for path in paths:
         if path.is_dir():
-            if _looks_like_cache_dir(path):
+            if _looks_like_service_dir(path):
+                check_service_dir(path, report, repair, tmp_age)
+            elif _looks_like_cache_dir(path):
                 check_cache_dir(path, report, repair, tmp_age)
             else:
                 for journal in sorted(path.rglob("*.rjl")):
@@ -250,10 +353,12 @@ def fsck_paths(
             check_journal(path, report, repair)
         elif path.suffix == ".rtb":
             check_trace(path, report, repair)
+        elif path.suffix == ".sqlite":
+            check_queue_db(path, report, repair)
         else:
             raise SystemExit(
-                f"repro-fsck: {path}: not a directory, .rjl journal or "
-                ".rtb trace"
+                f"repro-fsck: {path}: not a directory, .rjl journal, "
+                ".rtb trace or .sqlite queue DB"
             )
     return report
 
@@ -274,7 +379,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "paths", nargs="+", type=Path,
-        help="cache directories, .rjl journals or .rtb traces",
+        help="cache or service data directories, .rjl journals, .rtb "
+        "traces or queue .sqlite DBs",
     )
     mode = parser.add_mutually_exclusive_group()
     mode.add_argument(
@@ -285,7 +391,7 @@ def main(argv: list[str] | None = None) -> int:
         "--repair", action="store_true",
         help="fix what can be fixed: truncate torn journal tails, "
         "salvage torn traces, delete corrupt cache entries and stale "
-        "tmp files",
+        "tmp files, re-queue service jobs whose lease-holder died",
     )
     parser.add_argument(
         "--tmp-age", type=float, default=DEFAULT_TMP_AGE, metavar="SECONDS",

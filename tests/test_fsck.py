@@ -116,3 +116,78 @@ class TestCliEdges:
         (cachedir / "torn.rtb").write_bytes(b"NOPE not a trace at all")
         rc = main([str(cachedir), "--repair", "--tmp-age", "0"])
         assert rc == EXIT_FINDINGS  # torn-trace finding stays unrepaired
+
+
+class TestServiceDir:
+    """fsck over a ``repro-serve`` data dir: stale leases and upload residue."""
+
+    @pytest.fixture
+    def service_dir(self, tmp_path):
+        from repro.service.models import JobSpec
+        from repro.service.queue import JobQueue
+
+        root = tmp_path / "data"
+        (root / "traces").mkdir(parents=True)
+        clock = [1000.0]
+        with JobQueue(
+            root / "queue.sqlite", lease_seconds=5.0, clock=lambda: clock[0]
+        ) as queue:
+            queue.submit(JobSpec(kind="analyze", workload="lock-counter"))
+            queue.claim("worker-died")
+            clock[0] += 100.0  # the lease is long gone, nobody expired it
+        orphan = root / "traces" / f"{durable.TMP_PREFIX}upload"
+        orphan.write_bytes(b"half an upload")
+        return root
+
+    def test_stale_lease_is_found_not_repaired_by_check(self, service_dir):
+        report = fsck_paths([service_dir], repair=False, tmp_age=0)
+        kinds = {f.kind for f in report.findings}
+        assert kinds == {"stale-lease", "stale-tmp"}
+        assert all(not f.repaired for f in report.findings)
+        # check mode left the job RUNNING
+        from repro.service.models import JobState
+        from repro.service.queue import JobQueue
+
+        with JobQueue(service_dir / "queue.sqlite") as queue:
+            assert queue.list_jobs()[0].state is JobState.RUNNING
+
+    def test_repair_requeues_the_job_and_gcs_the_upload(self, service_dir):
+        report = fsck_paths([service_dir], repair=True, tmp_age=0)
+        assert not report.unrepaired, [f.to_dict() for f in report.unrepaired]
+        lease = next(f for f in report.findings if f.kind == "stale-lease")
+        assert "re-queued as PENDING" in lease.repair_note
+        assert not (service_dir / "traces" / f"{durable.TMP_PREFIX}upload").exists()
+        from repro.service.models import JobState
+        from repro.service.queue import JobQueue
+
+        with JobQueue(service_dir / "queue.sqlite") as queue:
+            record = queue.list_jobs()[0]
+            assert record.state is JobState.PENDING
+            assert record.owner is None
+        # and a repaired dir checks clean
+        clean = fsck_paths([service_dir], repair=False, tmp_age=0)
+        assert not clean.findings, [f.to_dict() for f in clean.findings]
+
+    def test_live_lease_is_not_flagged(self, tmp_path):
+        from repro.service.models import JobSpec
+        from repro.service.queue import JobQueue
+
+        root = tmp_path / "data"
+        with JobQueue(root / "queue.sqlite", lease_seconds=3600.0) as queue:
+            queue.submit(JobSpec(kind="analyze", workload="lock-counter"))
+            queue.claim("healthy-worker")
+        report = fsck_paths([root], repair=False, tmp_age=0)
+        assert not report.findings
+
+    def test_queue_db_path_is_accepted_directly(self, service_dir):
+        report = fsck_paths(
+            [service_dir / "queue.sqlite"], repair=False, tmp_age=0
+        )
+        assert {f.kind for f in report.findings} == {"stale-lease"}
+
+    def test_garbage_sqlite_is_an_unrepairable_finding(self, tmp_path):
+        bogus = tmp_path / "queue.sqlite"
+        bogus.write_bytes(b"definitely not a database" * 100)
+        report = fsck_paths([tmp_path], repair=True, tmp_age=0)
+        assert [f.kind for f in report.findings] == ["bad-queue-db"]
+        assert not report.findings[0].repairable

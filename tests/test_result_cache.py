@@ -300,3 +300,35 @@ class TestManifest:
         assert by_key["a" * 64]["workload"] == "w1"  # preserved
         assert by_key["b" * 64]["status"] == "hit"  # this run wins
         assert out["seconds"] == 0.635
+
+    def test_eviction_counts_are_per_executor_not_cumulative(self, tmp_path):
+        """Many short-lived executors over one long-lived cache — the
+        service-worker workload — must not re-report (and write_merged
+        must not re-sum) evictions witnessed by earlier executors.
+
+        Regression: corrupt_evictions was copied from the *cumulative*
+        cache counter, so one real eviction inflated by one per
+        subsequent executor sharing the cache instance."""
+        cache = ResultCache(tmp_path / "cache")
+        manifest_path = cache.root / "manifest.json"
+        point = SimPoint(cfg(), spec())
+
+        first = Executor(jobs=1, cache=cache)
+        first.run_points([point])
+        cache.corrupt_entry(point.key())
+
+        witness = Executor(jobs=1, cache=cache)
+        witness.run_points([point])  # detects, evicts, recomputes
+        assert witness.manifest.corrupt_evictions == 1
+        witness.manifest.write_merged(manifest_path)
+
+        for _ in range(4):  # clean, short-lived, all pure cache hits
+            ex = Executor(jobs=1, cache=cache)
+            ex.run_points([point])
+            assert ex.manifest.corrupt_evictions == 0
+            ex.manifest.write_merged(manifest_path)
+
+        merged = json.loads(manifest_path.read_text())
+        assert merged["runs"] == 5
+        assert merged["corrupt_evictions"] == 1  # the one real eviction
+        assert cache.stats.discarded == 1
